@@ -1,0 +1,208 @@
+// ABL — design ablations called out in DESIGN.md:
+//   1. Wave length: the paper fixes 4 rounds/wave (rounds 1-3 build the
+//      common core, round 4 votes). Shorter waves commit more often but the
+//      direct-commit probability collapses below 4; longer waves waste
+//      rounds. Measured: direct-commit rate and time units per ordered value.
+//   2. Coin transport: dedicated channel vs piggybacked on vertices —
+//      bytes saved and latency effect.
+//   3. Weak edges: on/off — the fairness/validity price of turning them off.
+#include "bench_util.hpp"
+
+namespace dr::bench {
+namespace {
+
+struct WaveAblation {
+  Round rounds_per_wave;
+  double direct_rate = 0;
+  double time_units_per_commit = 0;
+  double delivered_per_commit = 0;
+};
+
+WaveAblation run_wave_len(Round rpw, std::uint64_t seed) {
+  WaveAblation out{rpw};
+  core::SystemConfig cfg;
+  cfg.committee = Committee::for_f(1);
+  cfg.seed = seed;
+  cfg.rbc_kind = rbc::RbcKind::kOracle;
+  cfg.builder.auto_blocks = true;
+  cfg.builder.auto_block_size = 16;
+  cfg.builder.rounds_per_wave = rpw;
+  cfg.delays = std::make_unique<sim::RotatingDelay>(4, 1, 220, 25, 260);
+  core::System sys(std::move(cfg));
+  const sim::SimTime unit = sys.network().max_delay();
+  sys.start();
+  if (!sys.simulator().run_until(
+          [&sys] { return sys.node(0).commits().size() >= 12; }, 200'000'000)) {
+    return out;
+  }
+  const auto& rider = sys.node(0).rider();
+  out.direct_rate = 1.0 - static_cast<double>(rider.waves_without_direct_commit()) /
+                              static_cast<double>(rider.waves_evaluated());
+  out.time_units_per_commit =
+      static_cast<double>(sys.simulator().now()) / 12.0 / static_cast<double>(unit);
+  out.delivered_per_commit =
+      static_cast<double>(rider.delivered_count()) / 12.0;
+  return out;
+}
+
+void wave_length_ablation() {
+  std::printf("\n-- ablation 1: rounds per wave (paper: 4) --\n");
+  metrics::Table t({"rounds/wave", "direct-commit rate", "time units/commit",
+                    "blocks delivered/commit"});
+  for (Round rpw : {2ull, 3ull, 4ull, 5ull, 6ull}) {
+    metrics::Summary rate, tpc, dpc;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const WaveAblation a = run_wave_len(rpw, seed * 7);
+      if (a.direct_rate > 0) {
+        rate.add(a.direct_rate);
+        tpc.add(a.time_units_per_commit);
+        dpc.add(a.delivered_per_commit);
+      }
+    }
+    t.add_row({metrics::Table::fmt_u64(rpw), metrics::Table::fmt(rate.mean(), 3),
+               metrics::Table::fmt(tpc.mean(), 1),
+               metrics::Table::fmt(dpc.mean(), 1)});
+  }
+  t.print();
+  std::printf(
+      "Reading: longer waves deliver more blocks per commit at higher\n"
+      "latency per commit; the direct-commit rate stays high for ALL wave\n"
+      "lengths under randomized schedulers. The paper's choice of 4 rounds\n"
+      "is not about empirical rate — it is the minimum for Lemma 2's\n"
+      "common-core argument, which bounds the rate >= 2/3 against the\n"
+      "WORST-CASE adversary (shorter waves lose that guarantee even though\n"
+      "random schedules cannot exhibit the loss).\n");
+}
+
+void coin_transport_ablation() {
+  std::printf("\n-- ablation 2: coin share transport --\n");
+  metrics::Table t({"transport", "total bytes", "coin-channel bytes",
+                    "sim time to 12 commits"});
+  for (auto mode : {core::CoinMode::kThreshold, core::CoinMode::kPiggyback}) {
+    core::SystemConfig cfg;
+    cfg.committee = Committee::for_f(1);
+    cfg.seed = 4242;
+    cfg.rbc_kind = rbc::RbcKind::kBracha;
+    cfg.builder.auto_blocks = true;
+    cfg.builder.auto_block_size = 16;
+    cfg.coin_mode = mode;
+    core::System sys(std::move(cfg));
+    sys.start();
+    const bool ok = sys.simulator().run_until(
+        [&sys] { return sys.node(0).commits().size() >= 12; }, 200'000'000);
+    t.add_row({mode == core::CoinMode::kThreshold ? "dedicated channel"
+                                                  : "piggybacked on vertices",
+               metrics::Table::fmt_u64(sys.network().total_bytes_sent()),
+               metrics::Table::fmt_u64(
+                   sys.network().channel_bytes_sent(sim::Channel::kCoin)),
+               ok ? metrics::Table::fmt_u64(sys.simulator().now()) : "stall"});
+  }
+  t.print();
+  std::printf(
+      "Reading: piggybacking (paper footnote 1) removes the coin channel and\n"
+      "message type entirely — an architectural simplification, not a byte\n"
+      "saving: under Bracha each embedded share is echoed O(n^2) times,\n"
+      "whereas the dedicated channel sends each share exactly n times.\n");
+}
+
+void weak_edge_ablation() {
+  std::printf("\n-- ablation 3: weak edges (Validity mechanism) --\n");
+  metrics::Table t({"weak edges", "slow process's blocks ordered",
+                    "fast process's blocks ordered"});
+  for (bool weak : {true, false}) {
+    core::SystemConfig cfg;
+    cfg.committee = Committee::for_f(1);
+    cfg.seed = 777;
+    cfg.rbc_kind = rbc::RbcKind::kOracle;
+    cfg.builder.auto_blocks = true;
+    cfg.builder.auto_block_size = 16;
+    cfg.builder.weak_edges = weak;
+    // Slow enough that process 2's vertices miss every round quorum, short
+    // enough that they do arrive within the measured horizon — so the only
+    // thing deciding their fate is whether weak edges exist.
+    cfg.delays = std::make_unique<sim::FixedSetDelay>(std::vector<ProcessId>{2},
+                                                      20, 400);
+    core::System sys(std::move(cfg));
+    sys.start();
+    sys.run_until_delivered(160, 400'000'000);
+    std::uint64_t slow = 0, fast = 0;
+    for (const core::DeliveredRecord& r : sys.node(0).delivered()) {
+      slow += r.source == 2 ? 1 : 0;
+      fast += r.source == 0 ? 1 : 0;
+    }
+    t.add_row({weak ? "on (paper)" : "off (ablated)",
+               metrics::Table::fmt_u64(slow), metrics::Table::fmt_u64(fast)});
+  }
+  t.print();
+  std::printf(
+      "Reading: with weak edges the slow-but-correct process's blocks are\n"
+      "ordered (later, but ordered); without them it is starved — weak edges\n"
+      "are exactly the Validity property's mechanism (§5).\n");
+}
+
+void coin_unpredictability_ablation() {
+  std::printf("\n-- ablation 4: coin unpredictability (why retroactive election matters) --\n");
+  // Two adversaries with IDENTICAL delay powers (they may mark any single
+  // process "slow" at any time). One is blind; the other can predict the
+  // coin — i.e., unpredictability is broken — and always ambushes the
+  // upcoming waves' leaders before their leader vertices spread.
+  metrics::Table t({"adversary", "waves decided (same time budget)",
+                    "blocks delivered"});
+  // Both adversaries get the same *simulated time* budget. (An event budget
+  // would be unfair: the stalled run burns events building an ever-deeper
+  // uncommitted DAG.)
+  const sim::SimTime kTimeBudget = 60'000;
+  for (bool foresight : {false, true}) {
+    core::SystemConfig cfg;
+    cfg.committee = Committee::for_f(1);
+    cfg.seed = 31337;
+    cfg.rbc_kind = rbc::RbcKind::kOracle;
+    cfg.coin_mode = core::CoinMode::kLocal;
+    cfg.builder.auto_blocks = true;
+    cfg.builder.auto_block_size = 8;
+    auto delays = std::make_unique<sim::TargetedDelay>(/*fast=*/40, /*slow=*/2000);
+    sim::TargetedDelay* knob = delays.get();
+    cfg.delays = std::move(delays);
+    core::System sys(std::move(cfg));
+    auto* oracle = dynamic_cast<coin::LocalCoin*>(&sys.node(0).coin());
+    sys.start();
+    if (!foresight) knob->set_victims({0});  // blind: pick someone, anyone
+    while (sys.simulator().now() < kTimeBudget && !sys.simulator().idle()) {
+      sys.simulator().run(500);
+      if (foresight && oracle != nullptr) {
+        // Peek at the coin for the wave being built and the next one, and
+        // stall those leaders' traffic — the attack unpredictability rules
+        // out. (The oracle coin makes the brokenness explicit.)
+        Round top = 1;
+        for (ProcessId p : sys.correct_ids()) {
+          top = std::max(top, sys.node(p).builder().current_round());
+        }
+        const Wave w = wave_of_round(top);
+        knob->set_victims({oracle->leader_for(w), oracle->leader_for(w + 1)});
+      }
+    }
+    t.add_row({foresight ? "coin-predicting (unpredictability broken)"
+                         : "blind (model-compliant)",
+               metrics::Table::fmt_u64(sys.node(0).rider().decided_wave()),
+               metrics::Table::fmt_u64(sys.node(0).rider().delivered_count())});
+  }
+  t.print();
+  std::printf(
+      "Reading: with the same delay budget, the blind adversary cannot stop\n"
+      "commits (leaders are drawn AFTER waves complete), while a coin-\n"
+      "predicting adversary ambushes each upcoming leader and stalls the\n"
+      "protocol — DAG-Rider's liveness rests exactly on the coin's\n"
+      "unpredictability property (§2), and on nothing else.\n");
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main() {
+  dr::bench::print_header("ABL", "design ablations");
+  dr::bench::wave_length_ablation();
+  dr::bench::coin_transport_ablation();
+  dr::bench::weak_edge_ablation();
+  dr::bench::coin_unpredictability_ablation();
+  return 0;
+}

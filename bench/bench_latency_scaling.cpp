@@ -1,0 +1,92 @@
+// LAT — §6.2 time complexity, widened: commit latency in asynchronous time
+// units as n grows, fault-free vs f crashed vs adversarial scheduling.
+// DAG-Rider's wave pipeline keeps this ~constant in n (a wave is 4 rounds
+// of 2f+1-quorum gathering regardless of n).
+#include "bench_util.hpp"
+
+namespace dr::bench {
+namespace {
+
+double commit_latency(std::uint32_t n, std::uint64_t seed, bool crash_f,
+                      bool adversarial) {
+  core::SystemConfig cfg;
+  cfg.committee = Committee::for_n(n);
+  cfg.seed = seed;
+  cfg.rbc_kind = rbc::RbcKind::kBracha;
+  cfg.builder.auto_blocks = true;
+  cfg.builder.auto_block_size = 32;
+  if (adversarial) {
+    cfg.delays = std::make_unique<sim::RotatingDelay>(
+        n, cfg.committee.f, /*period=*/300, /*fast=*/30, /*slow=*/330);
+  }
+  if (crash_f) {
+    cfg.faults.assign(n, core::FaultKind::kNone);
+    for (std::uint32_t i = 0; i < cfg.committee.f; ++i) {
+      cfg.faults[n - 1 - i] = core::FaultKind::kCrash;
+    }
+  }
+  const DagRiderRun r = [&] {
+    core::System sys(std::move(cfg));
+    sys.start();
+    DagRiderRun out;
+    const sim::SimTime unit = sys.network().max_delay();
+    auto all_committed = [&sys](std::uint64_t k) {
+      for (ProcessId p : sys.correct_ids()) {
+        if (sys.node(p).commits().size() < k) return false;
+      }
+      return true;
+    };
+    if (!sys.simulator().run_until([&] { return all_committed(1); },
+                                   100'000'000)) {
+      return out;
+    }
+    const sim::SimTime t0 = sys.simulator().now();
+    if (!sys.simulator().run_until([&] { return all_committed(6); },
+                                   400'000'000)) {
+      return out;
+    }
+    out.time_units_per_commit =
+        static_cast<double>(sys.simulator().now() - t0) / 5.0 /
+        static_cast<double>(unit);
+    out.ok = true;
+    return out;
+  }();
+  return r.ok ? r.time_units_per_commit : -1;
+}
+
+void run() {
+  print_header("LAT", "commit latency (time units per committed wave) vs n");
+
+  std::vector<std::string> headers{"scenario"};
+  for (std::uint32_t n : kSweepN) headers.push_back("n=" + std::to_string(n));
+  metrics::Table t(std::move(headers));
+
+  auto sweep = [&](const char* name, bool crash, bool adv) {
+    std::vector<std::string> cells{name};
+    for (std::uint32_t n : kSweepN) {
+      metrics::Summary s;
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const double v = commit_latency(n, seed * 31, crash, adv);
+        if (v >= 0) s.add(v);
+      }
+      cells.push_back(metrics::Table::fmt(s.mean(), 1));
+    }
+    t.add_row(std::move(cells));
+  };
+
+  sweep("fault-free, uniform delays", false, false);
+  sweep("f crashed", true, false);
+  sweep("rotating adversary", false, true);
+  t.print();
+  std::printf(
+      "\nReading: rows stay ~flat across n (O(1) expected time complexity),\n"
+      "with a constant-factor penalty for crashes/adversarial scheduling.\n");
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main() {
+  dr::bench::run();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// MICRO — google-benchmark microbenchmarks for the substrates: hashing,
+// erasure coding, Merkle trees, Shamir, DAG insertion and reachability.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/reed_solomon.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/shamir.hpp"
+#include "dag/dag.hpp"
+
+namespace dr {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Committee c = Committee::for_n(n);
+  crypto::ReedSolomon rs(c.small_quorum(), n - c.small_quorum());
+  const Bytes data = random_bytes(16'384, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16'384);
+}
+BENCHMARK(BM_RsEncode)->Arg(4)->Arg(10)->Arg(31);
+
+void BM_RsDecodeWithErasures(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Committee c = Committee::for_n(n);
+  crypto::ReedSolomon rs(c.small_quorum(), n - c.small_quorum());
+  const Bytes data = random_bytes(16'384, 3);
+  auto shards = rs.encode(data);
+  std::vector<std::optional<Bytes>> present(n);
+  // Keep only the last k shards (all-parity worst case for the solver).
+  for (std::uint32_t i = n - c.small_quorum(); i < n; ++i) present[i] = shards[i];
+  for (auto _ : state) {
+    auto out = rs.decode(present);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16'384);
+}
+BENCHMARK(BM_RsDecodeWithErasures)->Arg(4)->Arg(10)->Arg(31);
+
+void BM_MerkleBuildAndProve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> leaves;
+  for (std::size_t i = 0; i < n; ++i) leaves.push_back(random_bytes(512, i));
+  for (auto _ : state) {
+    crypto::MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.prove(static_cast<std::uint32_t>(n / 2)));
+  }
+}
+BENCHMARK(BM_MerkleBuildAndProve)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  std::vector<Bytes> leaves;
+  for (std::size_t i = 0; i < 32; ++i) leaves.push_back(random_bytes(512, i));
+  crypto::MerkleTree tree(leaves);
+  const auto proof = tree.prove(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::MerkleTree::verify(tree.root(), leaves[17], proof));
+  }
+}
+BENCHMARK(BM_MerkleVerify);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  const auto t = static_cast<std::uint32_t>(state.range(0));
+  Xoshiro256 rng(4);
+  auto shares = crypto::Shamir::split(12345, t, 3 * t + 1, rng);
+  shares.resize(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Shamir::reconstruct(shares));
+  }
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(2)->Arg(5)->Arg(11);
+
+/// Builds a fully-connected DAG of `rounds` rounds at committee size n.
+dag::Dag build_dag(std::uint32_t n, Round rounds) {
+  dag::Dag d(Committee::for_n(n));
+  for (Round r = 1; r <= rounds; ++r) {
+    const auto prev = d.round_sources(r - 1);
+    for (ProcessId p = 0; p < n; ++p) {
+      dag::Vertex v;
+      v.source = p;
+      v.round = r;
+      v.block = Bytes{1};
+      v.strong_edges = prev;
+      d.insert(std::move(v));
+    }
+  }
+  return d;
+}
+
+void BM_DagInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_dag(n, 40));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 40 * n);
+}
+BENCHMARK(BM_DagInsert)->Arg(4)->Arg(10)->Arg(31);
+
+void BM_DagStrongPathQuery(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const dag::Dag d = build_dag(n, 40);
+  for (auto _ : state) {
+    // Deep query: top round to round 1 — O(1) via ancestor bitsets.
+    benchmark::DoNotOptimize(
+        d.strong_path(dag::VertexId{0, 40}, dag::VertexId{n - 1, 1}));
+  }
+}
+BENCHMARK(BM_DagStrongPathQuery)->Arg(4)->Arg(10)->Arg(31);
+
+void BM_DagCausalHistory(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const dag::Dag d = build_dag(n, 40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        d.causal_history(dag::VertexId{0, 40}, [](dag::VertexId) {
+          return false;
+        }));
+  }
+}
+BENCHMARK(BM_DagCausalHistory)->Arg(4)->Arg(10)->Arg(31);
+
+void BM_DagCommitRuleSupport(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const dag::Dag d = build_dag(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.strong_support_in_round(4, dag::VertexId{0, 1}));
+  }
+}
+BENCHMARK(BM_DagCommitRuleSupport)->Arg(4)->Arg(10)->Arg(31);
+
+}  // namespace
+}  // namespace dr
+
+BENCHMARK_MAIN();

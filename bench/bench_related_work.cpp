@@ -1,0 +1,146 @@
+// RW — §7 related-work comparison: DAG-Rider vs an Aleph-style DAG BFT
+// (round-based DAG + one binary agreement per slot).
+//
+// Reproduced claims:
+//   * communication: Aleph pays O(n^3) agreement messages per DAG round
+//     on top of the broadcasts; DAG-Rider's ordering layer pays zero.
+//   * latency: Aleph outputs a round only when the slowest of its n BBAs
+//     decides; DAG-Rider decides a whole wave with one coin flip.
+//   * validity: a slow-but-correct process is starved by Aleph (its slots
+//     decide 0) but not by DAG-Rider (weak edges).
+#include "baselines/aleph/aleph.hpp"
+#include "bench_util.hpp"
+#include "coin/threshold_coin.hpp"
+
+namespace dr::bench {
+namespace {
+
+struct AlephRun {
+  double bytes_per_vertex = 0;
+  double time_per_round = 0;  // sim ticks per output round
+  std::uint64_t excluded = 0;
+  std::uint64_t delivered = 0;
+  bool ok = false;
+};
+
+AlephRun run_aleph(std::uint32_t n, std::uint64_t seed, bool slow_victim) {
+  const Committee c = Committee::for_n(n);
+  sim::Simulator sim(seed);
+  std::unique_ptr<sim::DelayModel> delays;
+  if (slow_victim) {
+    // ~6 DAG rounds of lag: far beyond Aleph's voting window (kLag = 2),
+    // comfortably inside DAG-Rider's weak-edge reach within the horizon.
+    delays = std::make_unique<sim::FixedSetDelay>(
+        std::vector<ProcessId>{n - 1}, 30, 400);
+  } else {
+    delays = std::make_unique<sim::UniformDelay>(1, 100);
+  }
+  sim::Network net(sim, c, std::move(delays));
+  coin::CoinDealer dealer(seed ^ 0xA1, c);
+  const auto factory = rbc::make_factory(rbc::RbcKind::kOracle);
+  std::vector<std::unique_ptr<rbc::ReliableBroadcast>> rbcs;
+  std::vector<std::unique_ptr<dag::DagBuilder>> builders;
+  std::vector<std::unique_ptr<coin::ThresholdCoin>> coins;
+  std::vector<std::unique_ptr<baselines::AlephOrderer>> orderers;
+  for (ProcessId p = 0; p < n; ++p) {
+    rbcs.push_back(factory(net, p, seed));
+    builders.push_back(std::make_unique<dag::DagBuilder>(
+        c, p, *rbcs[p],
+        dag::BuilderOptions{.auto_blocks = true, .auto_block_size = 64}));
+    coins.push_back(std::make_unique<coin::ThresholdCoin>(
+        net, coin::ProcessCoinKey(&dealer, p)));
+    orderers.push_back(std::make_unique<baselines::AlephOrderer>(
+        *builders[p], net, p, *coins[p]));
+  }
+  for (auto& b : builders) b->start();
+
+  AlephRun out;
+  const Round target = 8;
+  if (!sim.run_until([&] { return orderers[0]->rounds_output() >= target; },
+                     400'000'000)) {
+    return out;
+  }
+  out.delivered = orderers[0]->delivered_count();
+  out.excluded = orderers[0]->excluded_count();
+  out.bytes_per_vertex = static_cast<double>(net.total_bytes_sent()) /
+                         static_cast<double>(out.delivered ? out.delivered : 1);
+  out.time_per_round =
+      static_cast<double>(sim.now()) / static_cast<double>(target);
+  out.ok = true;
+  return out;
+}
+
+struct RiderRun {
+  double bytes_per_vertex = 0;
+  double time_per_round = 0;
+  std::uint64_t starved = 0;
+  bool ok = false;
+};
+
+RiderRun run_rider(std::uint32_t n, std::uint64_t seed, bool slow_victim) {
+  core::SystemConfig cfg;
+  cfg.committee = Committee::for_n(n);
+  cfg.seed = seed;
+  cfg.rbc_kind = rbc::RbcKind::kOracle;
+  cfg.builder.auto_blocks = true;
+  cfg.builder.auto_block_size = 64;
+  if (slow_victim) {
+    cfg.delays = std::make_unique<sim::FixedSetDelay>(
+        std::vector<ProcessId>{n - 1}, 30, 400);
+  }
+  core::System sys(std::move(cfg));
+  sys.start();
+  RiderRun out;
+  const std::uint64_t target_blocks = 20ull * n;  // past the victim's lag
+  if (!sys.run_until_delivered(target_blocks, 400'000'000)) return out;
+  const auto& log = sys.node(0).delivered();
+  out.bytes_per_vertex = static_cast<double>(sys.network().total_bytes_sent()) /
+                         static_cast<double>(log.size());
+  Round max_round = 0;
+  std::uint64_t from_victim = 0;
+  for (const auto& rec : log) {
+    max_round = std::max(max_round, rec.round);
+    from_victim += rec.source == n - 1 ? 1 : 0;
+  }
+  out.time_per_round = static_cast<double>(sys.simulator().now()) /
+                       static_cast<double>(max_round ? max_round : 1);
+  out.starved = from_victim == 0 ? 1 : 0;
+  out.ok = true;
+  return out;
+}
+
+void run() {
+  print_header("RW", "§7 comparison: DAG-Rider vs Aleph-style per-slot BBA");
+  metrics::Table t({"system", "n", "bytes/ordered vertex", "ticks/DAG round",
+                    "slow-victim blocks ordered?"});
+  for (std::uint32_t n : {4u, 7u, 10u}) {
+    const AlephRun a = run_aleph(n, 21, false);
+    const AlephRun a_slow = run_aleph(n, 21, true);
+    t.add_row({"Aleph-style", std::to_string(n),
+               a.ok ? metrics::Table::fmt(a.bytes_per_vertex, 0) : "stall",
+               a.ok ? metrics::Table::fmt(a.time_per_round, 0) : "-",
+               a_slow.ok ? (a_slow.excluded > 0 ? "no (excluded)" : "yes")
+                         : "stall"});
+    const RiderRun r = run_rider(n, 21, false);
+    const RiderRun r_slow = run_rider(n, 21, true);
+    t.add_row({"DAG-Rider", std::to_string(n),
+               r.ok ? metrics::Table::fmt(r.bytes_per_vertex, 0) : "stall",
+               r.ok ? metrics::Table::fmt(r.time_per_round, 0) : "-",
+               r_slow.ok ? (r_slow.starved ? "no" : "yes (weak edges)") : "stall"});
+  }
+  t.print();
+  std::printf(
+      "\nBoth systems run the same DAG substrate (oracle broadcast, 64B\n"
+      "blocks); the delta is pure ordering cost. Reading: Aleph pays n BBAs\n"
+      "of O(n^2) messages per round and grows much faster in bytes/vertex;\n"
+      "it also excludes the slow-but-correct process (no Validity), which\n"
+      "DAG-Rider's weak edges rescue.\n");
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main() {
+  dr::bench::run();
+  return 0;
+}

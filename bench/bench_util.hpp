@@ -1,0 +1,115 @@
+// Shared measurement helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/system.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+
+namespace dr::bench {
+
+/// Committee sizes swept by the scaling experiments.
+inline const std::vector<std::uint32_t> kSweepN = {4, 7, 10, 13, 16};
+
+struct DagRiderRun {
+  double bytes_per_value = 0;      ///< honest bytes / ordered value
+  double time_units_per_commit = 0;
+  double time_units_to_n_values = 0;  ///< paper's time-complexity metric
+  std::uint64_t values_ordered = 0;
+  std::uint64_t commits = 0;
+  double waves_per_commit = 0;
+  bool ok = false;
+};
+
+/// Runs DAG-Rider at committee size n with `values_per_block` batched values
+/// of `value_size` bytes each, until `target_commits` leader commits land at
+/// every correct process. Communication is measured after a warmup of one
+/// committed wave so setup costs do not pollute the amortized figures.
+inline DagRiderRun run_dag_rider(std::uint32_t n, rbc::RbcKind kind,
+                                 std::uint64_t seed,
+                                 std::uint32_t values_per_block,
+                                 std::size_t value_size,
+                                 std::uint64_t target_commits = 6,
+                                 core::CoinMode coin = core::CoinMode::kThreshold,
+                                 std::unique_ptr<sim::DelayModel> delays = nullptr) {
+  core::SystemConfig cfg;
+  cfg.committee = Committee::for_n(n);
+  cfg.seed = seed;
+  cfg.rbc_kind = kind;
+  cfg.coin_mode = coin;
+  cfg.builder.auto_blocks = true;
+  cfg.builder.auto_block_size =
+      static_cast<std::size_t>(values_per_block) * value_size;
+  if (delays) cfg.delays = std::move(delays);
+  core::System sys(std::move(cfg));
+  sys.start();
+
+  DagRiderRun out;
+  const sim::SimTime unit = sys.network().max_delay();
+
+  // Warmup: first commit everywhere, then reset the traffic counters.
+  auto commits_everywhere = [&](std::uint64_t k) {
+    return [&sys, k] {
+      for (ProcessId p : sys.correct_ids()) {
+        if (sys.node(p).commits().size() < k) return false;
+      }
+      return true;
+    };
+  };
+  if (!sys.simulator().run_until(commits_everywhere(1), 80'000'000)) return out;
+  sys.network().reset_traffic();
+  const std::uint64_t delivered_at_warmup =
+      sys.node(sys.correct_ids()[0]).delivered().size();
+  const sim::SimTime t0 = sys.simulator().now();
+
+  if (!sys.simulator().run_until(commits_everywhere(1 + target_commits),
+                                 400'000'000)) {
+    return out;
+  }
+  const sim::SimTime t1 = sys.simulator().now();
+  const ProcessId probe = sys.correct_ids()[0];
+  const core::Node& node = sys.node(probe);
+
+  const std::uint64_t blocks = node.delivered().size() - delivered_at_warmup;
+  out.values_ordered = blocks * values_per_block;
+  out.commits = target_commits;
+  out.bytes_per_value =
+      static_cast<double>(sys.network().total_honest_bytes_sent()) /
+      static_cast<double>(out.values_ordered ? out.values_ordered : 1);
+  out.time_units_per_commit = static_cast<double>(t1 - t0) /
+                              static_cast<double>(target_commits) /
+                              static_cast<double>(unit);
+  // Paper metric: time units until O(n) values from different correct
+  // processes are delivered, measured from the warmup point.
+  {
+    std::set<ProcessId> sources;
+    sim::SimTime t_n = t1;
+    for (std::size_t i = delivered_at_warmup; i < node.delivered().size(); ++i) {
+      sources.insert(node.delivered()[i].source);
+      if (sources.size() >= sys.committee().quorum()) {
+        t_n = node.delivered()[i].time;
+        break;
+      }
+    }
+    out.time_units_to_n_values =
+        static_cast<double>(t_n - t0) / static_cast<double>(unit);
+  }
+  const auto& rider = sys.node(probe).rider();
+  out.waves_per_commit =
+      static_cast<double>(rider.waves_evaluated()) /
+      static_cast<double>(rider.committed_leaders().size()
+                              ? rider.committed_leaders().size()
+                              : 1);
+  out.ok = true;
+  return out;
+}
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("\n=== %s — %s ===\n", id, title);
+}
+
+}  // namespace dr::bench

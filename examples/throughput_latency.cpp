@@ -1,0 +1,68 @@
+// throughput_latency — live-workload performance study.
+//
+// Open-loop clients inject transactions into per-process mempools; blocks
+// carry real batches instead of synthetic filler. Reports end-to-end
+// (submit -> a_deliver) latency percentiles and committed throughput for
+// each reliable-broadcast instantiation at several committee sizes.
+//
+//   usage: throughput_latency [tx_per_tick]
+#include <cstdio>
+#include <cstdlib>
+
+#include "metrics/table.hpp"
+#include "txpool/client.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dr;
+  const double rate = argc > 1 ? std::atof(argv[1]) : 0.2;
+
+  metrics::Table table({"rbc", "n", "committed tx", "tx/1k-ticks",
+                        "latency p50", "latency p95", "bytes/tx"});
+
+  for (rbc::RbcKind kind :
+       {rbc::RbcKind::kBracha, rbc::RbcKind::kAvid, rbc::RbcKind::kGossip}) {
+    for (std::uint32_t n : {4u, 10u}) {
+      core::SystemConfig cfg;
+      cfg.committee = Committee::for_n(n);
+      cfg.seed = 1234;
+      cfg.rbc_kind = kind;
+      cfg.builder.auto_blocks = true;
+      cfg.builder.auto_block_size = 0;
+      core::System sys(std::move(cfg));
+
+      txpool::WorkloadConfig wl;
+      wl.tx_per_tick = rate;
+      wl.tx_payload = 64;
+      wl.batch_max = 32;
+      txpool::ClientSwarm swarm(sys, wl, 99);
+      sys.start();
+      swarm.start();
+
+      const bool ok = sys.simulator().run_until(
+          [&] { return swarm.committed() >= 400; }, 100'000'000);
+      if (!ok) {
+        table.add_row({rbc::to_string(kind), std::to_string(n), "stalled"});
+        continue;
+      }
+      const double elapsed = static_cast<double>(sys.simulator().now());
+      table.add_row(
+          {rbc::to_string(kind), std::to_string(n),
+           metrics::Table::fmt_u64(swarm.committed()),
+           metrics::Table::fmt(swarm.committed() / elapsed * 1000.0, 1),
+           metrics::Table::fmt(swarm.latency().percentile(0.50), 0),
+           metrics::Table::fmt(swarm.latency().percentile(0.95), 0),
+           metrics::Table::fmt(
+               static_cast<double>(sys.network().total_bytes_sent()) /
+                   static_cast<double>(swarm.committed()),
+               0)});
+    }
+  }
+  std::printf("=== live-workload throughput & latency (rate %.2f tx/tick) ===\n",
+              rate);
+  table.print();
+  std::printf(
+      "\nNotes: latency in simulator ticks (uniform link delay 1-100).\n"
+      "AVID's erasure coding pays off in bytes/tx as n grows; gossip trades\n"
+      "deterministic guarantees for the lowest byte cost.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "app/kvstore.hpp"
+
+namespace dr::app {
+
+namespace {
+constexpr std::uint32_t kKvMagic = 0x6B76;
+}  // namespace
+
+Bytes KvCommand::encode() const {
+  ByteWriter w(key.size() + value.size() + expected.size() + 24);
+  w.u32(kKvMagic);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.blob(key);
+  w.blob(value);
+  w.blob(expected);
+  return std::move(w).take();
+}
+
+bool KvCommand::decode(BytesView data, KvCommand& out) {
+  ByteReader in(data);
+  if (in.u32() != kKvMagic) return false;
+  const std::uint8_t op = in.u8();
+  if (op < 1 || op > 3) return false;
+  out.op = static_cast<Op>(op);
+  Bytes key = in.blob();
+  out.value = in.blob();
+  out.expected = in.blob();
+  if (!in.done()) return false;
+  out.key.assign(key.begin(), key.end());
+  return true;
+}
+
+bool KvStore::apply(BytesView command) {
+  KvCommand cmd;
+  if (!KvCommand::decode(command, cmd)) {
+    ++rejected_;
+    return false;
+  }
+  switch (cmd.op) {
+    case KvCommand::Op::kPut:
+      data_[cmd.key] = cmd.value;
+      ++applied_;
+      return true;
+    case KvCommand::Op::kDel: {
+      const bool erased = data_.erase(cmd.key) > 0;
+      if (erased) {
+        ++applied_;
+      } else {
+        ++rejected_;
+      }
+      return erased;
+    }
+    case KvCommand::Op::kCas: {
+      auto it = data_.find(cmd.key);
+      if (it == data_.end() || it->second != cmd.expected) {
+        ++rejected_;
+        return false;  // deterministic rejection: same view everywhere
+      }
+      it->second = cmd.value;
+      ++applied_;
+      return true;
+    }
+  }
+  return false;
+}
+
+crypto::Digest KvStore::state_digest() const {
+  crypto::Sha256 ctx;
+  ctx.update(std::string_view{"dagrider/kvstate"});
+  for (const auto& [key, value] : data_) {
+    std::uint8_t len[8];
+    const std::uint64_t klen = key.size();
+    for (int i = 0; i < 8; ++i) len[i] = static_cast<std::uint8_t>(klen >> (8 * i));
+    ctx.update(BytesView{len, 8});
+    ctx.update(std::string_view{key});
+    const std::uint64_t vlen = value.size();
+    for (int i = 0; i < 8; ++i) len[i] = static_cast<std::uint8_t>(vlen >> (8 * i));
+    ctx.update(BytesView{len, 8});
+    ctx.update(value);
+  }
+  return ctx.finish();
+}
+
+std::optional<Bytes> KvStore::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dr::app

@@ -1,0 +1,42 @@
+// Replicated key-value store: PUT / DEL / CAS commands over string keys.
+// The canonical workload for SMR papers, here the reference StateMachine.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "app/state_machine.hpp"
+
+namespace dr::app {
+
+/// Command encoding helpers (also used by clients).
+struct KvCommand {
+  enum class Op : std::uint8_t { kPut = 1, kDel = 2, kCas = 3 };
+
+  Op op = Op::kPut;
+  std::string key;
+  Bytes value;     // for PUT / CAS (new value)
+  Bytes expected;  // for CAS (required current value)
+
+  Bytes encode() const;
+  static bool decode(BytesView data, KvCommand& out);
+};
+
+class KvStore final : public StateMachine {
+ public:
+  bool apply(BytesView command) override;
+  crypto::Digest state_digest() const override;
+  std::uint64_t applied_count() const override { return applied_; }
+
+  std::optional<Bytes> get(const std::string& key) const;
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t rejected_count() const { return rejected_; }
+
+ private:
+  std::map<std::string, Bytes> data_;  // ordered: digest is canonical
+  std::uint64_t applied_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace dr::app

@@ -1,0 +1,72 @@
+#include "app/replicated.hpp"
+
+namespace dr::app {
+
+ReplicatedService::ReplicatedService(core::System& sys, MachineFactory factory,
+                                     std::size_t batch_max,
+                                     sim::SimTime pump_every)
+    : sys_(sys), batch_max_(batch_max), pump_every_(pump_every) {
+  correct_ = sys_.correct_ids();
+  for (ProcessId p = 0; p < sys_.n(); ++p) {
+    machines_.push_back(factory());
+    pools_.push_back(std::make_unique<txpool::Mempool>());
+  }
+  for (ProcessId p : correct_) {
+    sys_.node(p).set_app_deliver(
+        [this, p](const Bytes& block, Round, ProcessId) {
+          auto txs = txpool::decode_block(block);
+          if (!txs) return;  // padding / foreign block: no-op
+          pools_[p]->observe_delivered(txs.value());
+          for (const txpool::Transaction& tx : txs.value()) {
+            machines_[p]->apply(tx.payload);
+          }
+        });
+  }
+}
+
+bool ReplicatedService::submit(ProcessId p, std::uint64_t command_id,
+                               Bytes command) {
+  txpool::Transaction tx;
+  tx.id = command_id;
+  tx.submit_time = sys_.simulator().now();
+  tx.payload = std::move(command);
+  return pools_[p]->submit(std::move(tx));
+}
+
+void ReplicatedService::start() {
+  for (ProcessId p : correct_) schedule_pump(p);
+}
+
+void ReplicatedService::schedule_pump(ProcessId p) {
+  sys_.simulator().schedule(pump_every_, [this, p] {
+    auto& builder = sys_.node(p).builder();
+    if (builder.blocks_pending() == 0 && pools_[p]->pending() > 0) {
+      Bytes block = pools_[p]->next_block(batch_max_);
+      if (!block.empty()) sys_.node(p).rider().a_bcast(std::move(block));
+    }
+    schedule_pump(p);
+  });
+}
+
+bool ReplicatedService::replicas_consistent() const {
+  // Group correct replicas by applied-command count; within a group the
+  // digests must match exactly (they executed the same ordered prefix —
+  // KvStore rejections are deterministic, so counts identify positions).
+  for (std::size_t a = 0; a < correct_.size(); ++a) {
+    for (std::size_t b = a + 1; b < correct_.size(); ++b) {
+      const StateMachine& ma = *machines_[correct_[a]];
+      const StateMachine& mb = *machines_[correct_[b]];
+      if (ma.applied_count() == mb.applied_count() &&
+          ma.state_digest() != mb.state_digest()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t ReplicatedService::applied_at_probe() const {
+  return machines_[correct_.front()]->applied_count();
+}
+
+}  // namespace dr::app

@@ -1,0 +1,31 @@
+// Execution layer (§3 of the paper): BAB orders opaque blocks; a
+// deterministic state machine applies them afterwards, validating commands
+// at execution time. This module provides the interface plus a replicated
+// key-value store implementation used by tests and examples.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "txpool/transaction.hpp"
+
+namespace dr::app {
+
+/// A deterministic state machine. Determinism contract: two instances that
+/// apply the same command sequence must report identical state digests —
+/// the whole point of total-order broadcast.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies one ordered command. Invalid commands must be rejected
+  /// deterministically (same command -> same verdict at every replica);
+  /// returns whether the command was accepted.
+  virtual bool apply(BytesView command) = 0;
+
+  /// Digest of the full state, for cross-replica consistency audits.
+  virtual crypto::Digest state_digest() const = 0;
+
+  virtual std::uint64_t applied_count() const = 0;
+};
+
+}  // namespace dr::app

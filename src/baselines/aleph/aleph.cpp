@@ -1,0 +1,74 @@
+#include "baselines/aleph/aleph.hpp"
+
+namespace dr::baselines {
+
+AlephOrderer::AlephOrderer(dag::DagBuilder& builder, sim::Network& net,
+                           ProcessId pid, coin::Coin& coin)
+    : builder_(builder),
+      net_(net),
+      pid_(pid),
+      bba_(net, pid, coin,
+           [this](std::uint64_t instance, bool value) {
+             on_bba_decide(instance, value);
+           }) {
+  builder_.set_vertex_added([this](const dag::Vertex& v) { on_vertex_added(v); });
+}
+
+void AlephOrderer::on_vertex_added(const dag::Vertex& v) {
+  // A late vertex for a slot already being voted on: input was already cast
+  // (possibly 0); nothing to retract — that is precisely Aleph's validity
+  // gap. New DAG height may unlock voting for older rounds though.
+  (void)v;
+  maybe_start_votes();
+}
+
+void AlephOrderer::maybe_start_votes() {
+  const dag::Dag& dag = builder_.dag();
+  const Round top = dag.max_round();
+  // Vote on round r's slots once the DAG reaches r + kLag.
+  while (votes_started_upto_ + kLag < top) {
+    const Round r = ++votes_started_upto_;
+    for (ProcessId p = 0; p < net_.n(); ++p) {
+      const bool have = dag.contains(dag::VertexId{p, r});
+      bba_.propose(slot_instance(p, r), have);
+    }
+  }
+}
+
+void AlephOrderer::on_bba_decide(std::uint64_t instance, bool value) {
+  const ProcessId p = slot_process(instance);
+  const Round r = slot_round(instance);
+  decisions_[r][p] = value;
+  drain_output();
+}
+
+void AlephOrderer::drain_output() {
+  const dag::Dag& dag = builder_.dag();
+  while (true) {
+    auto it = decisions_.find(next_round_to_output_);
+    if (it == decisions_.end() || it->second.size() < net_.n()) return;
+    // All n slot decisions for this round are in. Included vertices must be
+    // present locally before output — BBA validity guarantees some correct
+    // process had it, so reliable broadcast will deliver it here too.
+    for (const auto& [p, included] : it->second) {
+      if (included && !dag.contains(dag::VertexId{p, next_round_to_output_})) {
+        return;  // wait for the vertex to arrive
+      }
+    }
+    for (const auto& [p, included] : it->second) {
+      if (!included) {
+        // Slot decided out: if the vertex exists (or arrives later), its
+        // block is dropped forever — Aleph's missing-Validity in action.
+        ++excluded_count_;
+        continue;
+      }
+      const dag::Vertex* v = dag.get(dag::VertexId{p, next_round_to_output_});
+      ++delivered_count_;
+      if (deliver_) deliver_(v->block, v->round, v->source);
+    }
+    decisions_.erase(it);
+    ++next_round_to_output_;
+  }
+}
+
+}  // namespace dr::baselines

@@ -1,0 +1,205 @@
+#include "baselines/bba/binary_agreement.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace dr::baselines {
+
+BinaryAgreement::BinaryAgreement(sim::Network& net, ProcessId pid,
+                                 coin::Coin& coin, DecideFn decide,
+                                 sim::Channel channel)
+    : net_(net), pid_(pid), coin_(coin), decide_cb_(std::move(decide)),
+      channel_(channel) {
+  net_.subscribe(pid_, channel_, [this](ProcessId from, BytesView data) {
+    on_message(from, data);
+  });
+}
+
+std::uint64_t BinaryAgreement::coin_instance(std::uint64_t instance,
+                                             std::uint64_t round) {
+  std::uint8_t buf[16];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(instance >> (8 * i));
+  for (int i = 0; i < 8; ++i) buf[8 + i] = static_cast<std::uint8_t>(round >> (8 * i));
+  return crypto::digest_prefix_u64(
+      crypto::sha256_tagged("bba/coin", {BytesView{buf, 16}}));
+}
+
+void BinaryAgreement::propose(std::uint64_t instance, bool value) {
+  Instance& inst = instances_[instance];
+  if (inst.started || inst.decision.has_value()) return;
+  inst.started = true;
+  inst.est = value;
+  send_bval(instance, 1, value);
+}
+
+void BinaryAgreement::send_bval(std::uint64_t instance, std::uint64_t round,
+                                bool b) {
+  Instance& inst = instances_[instance];
+  RoundState& rs = inst.rounds[round];
+  if (rs.bval_sent[b ? 1 : 0]) return;
+  rs.bval_sent[b ? 1 : 0] = true;
+  ByteWriter w(24);
+  w.u8(kBval);
+  w.u64(instance);
+  w.u64(round);
+  w.u8(b ? 1 : 0);
+  net_.broadcast(pid_, channel_, std::move(w).take());
+}
+
+bool BinaryAgreement::decided(std::uint64_t instance) const {
+  auto it = instances_.find(instance);
+  return it != instances_.end() && it->second.decision.has_value();
+}
+
+std::optional<bool> BinaryAgreement::decision(std::uint64_t instance) const {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) return std::nullopt;
+  return it->second.decision;
+}
+
+std::uint64_t BinaryAgreement::rounds_used(std::uint64_t instance) const {
+  auto it = instances_.find(instance);
+  return it != instances_.end() ? it->second.decided_round : 0;
+}
+
+void BinaryAgreement::on_message(ProcessId from, BytesView data) {
+  ByteReader in(data);
+  const auto type = static_cast<MsgType>(in.u8());
+  const std::uint64_t instance = in.u64();
+
+  if (type == kDecide) {
+    const std::uint8_t v = in.u8();
+    if (!in.done() || v > 1) return;
+    Instance& inst = instances_[instance];
+    inst.decide_senders[v].insert(from);
+    // f+1 DECIDEs contain a correct decider; adopting preserves agreement,
+    // and once the quorum exists this process can stop playing rounds.
+    if (inst.decide_senders[v].size() >= net_.committee().small_quorum()) {
+      if (!inst.decision.has_value()) decide(instance, v == 1, inst.round);
+      inst.halted = true;
+    }
+    return;
+  }
+
+  const std::uint64_t round = in.u64();
+  const std::uint8_t v = in.u8();
+  if (!in.done() || v > 1 || round == 0 || round > 1u << 20) return;
+  Instance& inst = instances_[instance];
+  RoundState& rs = inst.rounds[round];
+
+  switch (type) {
+    case kBval: {
+      rs.bval_senders[v].insert(from);
+      // Amplification at f+1, bin_values admission at 2f+1.
+      if (rs.bval_senders[v].size() >= net_.committee().small_quorum()) {
+        send_bval(instance, round, v == 1);
+      }
+      if (rs.bval_senders[v].size() >= net_.committee().quorum()) {
+        rs.bin_values[v] = true;
+      }
+      break;
+    }
+    case kAux: {
+      if (!rs.aux_seen.insert(from).second) return;
+      rs.aux_by_value[v].insert(from);
+      break;
+    }
+    default:
+      return;
+  }
+  if (inst.started) advance(instance);
+}
+
+void BinaryAgreement::advance(std::uint64_t instance) {
+  Instance& inst = instances_[instance];
+  if (inst.halted) return;
+  RoundState& rs = inst.rounds[inst.round];
+
+  // Step 2: first nonempty bin_values -> AUX broadcast.
+  if (!rs.aux_sent && (rs.bin_values[0] || rs.bin_values[1])) {
+    rs.aux_sent = true;
+    const bool w = rs.bin_values[inst.est ? 1 : 0] ? inst.est : rs.bin_values[1];
+    ByteWriter msg(24);
+    msg.u8(kAux);
+    msg.u64(instance);
+    msg.u64(inst.round);
+    msg.u8(w ? 1 : 0);
+    net_.broadcast(pid_, channel_, std::move(msg).take());
+  }
+  try_finish_round(instance, inst.round);
+}
+
+void BinaryAgreement::try_finish_round(std::uint64_t instance,
+                                       std::uint64_t round) {
+  Instance& inst = instances_[instance];
+  if (inst.halted || round != inst.round) return;
+  RoundState& rs = inst.rounds[round];
+  if (rs.done || !rs.aux_sent) return;
+  // MMR gather: a set of 2f+1 AUX messages whose values all lie in
+  // bin_values. Count only AUX for admitted values, so a Byzantine AUX
+  // carrying a never-admitted value cannot block the round.
+  std::size_t valid = 0;
+  bool in_v[2] = {false, false};
+  for (int b = 0; b < 2; ++b) {
+    if (rs.bin_values[b] && !rs.aux_by_value[b].empty()) {
+      valid += rs.aux_by_value[b].size();
+      in_v[b] = true;
+    }
+  }
+  if (valid < net_.committee().quorum()) return;
+
+  if (!rs.coin_requested) {
+    rs.coin_requested = true;
+    coin_.choose_leader(coin_instance(instance, round),
+                        [this, instance, round](ProcessId value) {
+                          on_coin(instance, round, value);
+                        });
+  }
+  if (!rs.coin.has_value()) return;
+  rs.done = true;
+
+  const bool s = *rs.coin;
+  if (in_v[0] != in_v[1]) {  // V = {b}
+    const bool b = in_v[1];
+    inst.est = b;
+    if (b == s && !inst.decision.has_value()) {
+      decide(instance, b, round);
+      // Keep playing rounds (est is stable at b) until f+1 DECIDEs halt
+      // the instance — otherwise a lone decider's silence could starve the
+      // 2f+1 quorums laggards still need.
+    }
+  } else {  // V = {0, 1}
+    inst.est = s;
+  }
+  inst.round = round + 1;
+  send_bval(instance, inst.round, inst.est);
+  advance(instance);
+}
+
+void BinaryAgreement::on_coin(std::uint64_t instance, std::uint64_t round,
+                              ProcessId value) {
+  Instance& inst = instances_[instance];
+  RoundState& rs = inst.rounds[round];
+  // Leader-id parity as the common bit: unpredictable, agreed, and within
+  // 1/(2n) of fair — amply sufficient for the expected-O(1) argument.
+  rs.coin = (value % 2) == 1;
+  try_finish_round(instance, round);
+}
+
+void BinaryAgreement::decide(std::uint64_t instance, bool value,
+                             std::uint64_t round) {
+  Instance& inst = instances_[instance];
+  if (inst.decision.has_value()) return;
+  inst.decision = value;
+  inst.decided_round = round;
+  if (!inst.decide_sent) {
+    inst.decide_sent = true;
+    ByteWriter w(16);
+    w.u8(kDecide);
+    w.u64(instance);
+    w.u8(value ? 1 : 0);
+    net_.broadcast(pid_, channel_, std::move(w).take());
+  }
+  if (decide_cb_) decide_cb_(instance, value);
+}
+
+}  // namespace dr::baselines

@@ -1,0 +1,97 @@
+// Signature-free Binary Byzantine Agreement after Mostéfaoui, Moumen,
+// Raynal (PODC'14): the per-vertex decision engine of the Aleph baseline
+// (§7 of the DAG-Rider paper), and a useful primitive on its own.
+//
+// Per instance and round r:
+//   BV-broadcast:  BVAL(r, b); re-broadcast on f+1 copies of b (amplify),
+//                  add b to bin_values on 2f+1 copies.
+//   AUX:           once bin_values nonempty, AUX(r, w), w in bin_values.
+//   Gather:        wait for 2f+1 AUX whose values all lie in bin_values;
+//                  let V = that value set.
+//   Coin:          s = coin(instance, r).
+//   Decide:        if V = {b}: est = b, and if b == s -> DECIDE(b);
+//                  else est = s; proceed to round r+1.
+// A DECIDE(b) message short-circuits laggards: f+1 matching DECIDEs imply a
+// correct decider, so adopting is safe.
+//
+// Properties: Validity (decided value was some correct process's input),
+// Agreement, and expected O(1) rounds given the unpredictable common coin.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "coin/coin.hpp"
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+
+namespace dr::baselines {
+
+class BinaryAgreement {
+ public:
+  /// decide(instance, value).
+  using DecideFn = std::function<void(std::uint64_t instance, bool value)>;
+
+  BinaryAgreement(sim::Network& net, ProcessId pid, coin::Coin& coin,
+                  DecideFn decide, sim::Channel channel = sim::Channel::kBba);
+
+  /// Proposes this process's binary input for `instance` (idempotent).
+  void propose(std::uint64_t instance, bool value);
+
+  bool decided(std::uint64_t instance) const;
+  std::optional<bool> decision(std::uint64_t instance) const;
+  /// BBA rounds consumed by a decided instance (expected O(1)).
+  std::uint64_t rounds_used(std::uint64_t instance) const;
+
+ private:
+  enum MsgType : std::uint8_t { kBval = 1, kAux = 2, kDecide = 3 };
+
+  struct RoundState {
+    std::unordered_set<ProcessId> bval_senders[2];
+    bool bval_sent[2] = {false, false};
+    bool bin_values[2] = {false, false};
+    /// AUX senders per value (each sender counted once, first value wins).
+    std::unordered_set<ProcessId> aux_by_value[2];
+    std::unordered_set<ProcessId> aux_seen;
+    bool aux_sent = false;
+    bool coin_requested = false;
+    std::optional<bool> coin;
+    bool done = false;
+  };
+
+  struct Instance {
+    bool started = false;
+    bool est = false;
+    std::uint64_t round = 1;
+    std::map<std::uint64_t, RoundState> rounds;
+    std::optional<bool> decision;
+    std::uint64_t decided_round = 0;
+    std::unordered_set<ProcessId> decide_senders[2];
+    bool decide_sent = false;
+    /// A decided process keeps playing rounds (est is then stable) until
+    /// f+1 DECIDEs exist — the termination gadget that lets every correct
+    /// process either decide via the coin or adopt via the quorum.
+    bool halted = false;
+  };
+
+  void on_message(ProcessId from, BytesView data);
+  void send_bval(std::uint64_t instance, std::uint64_t round, bool b);
+  void advance(std::uint64_t instance);
+  void try_finish_round(std::uint64_t instance, std::uint64_t round);
+  void on_coin(std::uint64_t instance, std::uint64_t round, ProcessId value);
+  void decide(std::uint64_t instance, bool value, std::uint64_t round);
+
+  static std::uint64_t coin_instance(std::uint64_t instance, std::uint64_t round);
+
+  sim::Network& net_;
+  ProcessId pid_;
+  coin::Coin& coin_;
+  DecideFn decide_cb_;
+  sim::Channel channel_;
+  std::map<std::uint64_t, Instance> instances_;
+};
+
+}  // namespace dr::baselines

@@ -1,0 +1,80 @@
+#include "baselines/dumbo/dumbo.hpp"
+
+namespace dr::baselines {
+namespace {
+
+Bytes encode_candidate(ProcessId proposer, const dr::crypto::Digest& root) {
+  ByteWriter w(40);
+  w.u32(proposer);
+  w.raw(BytesView{root.data(), root.size()});
+  return std::move(w).take();
+}
+
+bool decode_candidate(BytesView data, ProcessId& proposer,
+                      dr::crypto::Digest& root) {
+  ByteReader in(data);
+  proposer = in.u32();
+  Bytes raw = in.raw(dr::crypto::kDigestSize);
+  if (!in.done()) return false;
+  std::copy(raw.begin(), raw.end(), root.begin());
+  return true;
+}
+
+}  // namespace
+
+DumboMvba::DumboMvba(sim::Network& net, ProcessId pid, coin::Coin& coin,
+                     DecideFn decide)
+    : net_(net),
+      pid_(pid),
+      decide_(std::move(decide)),
+      dispersal_(net, pid, sim::Channel::kDumbo),
+      vaba_(net, pid, coin,
+            [this](SlotId slot, ProcessId proposer, const Bytes& value) {
+              on_vaba_decide(slot, proposer, value);
+            },
+            sim::Channel::kVaba) {
+  dispersal_.set_available(
+      [this](const crypto::Digest& root) { on_available(root); });
+}
+
+void DumboMvba::propose(SlotId slot, Bytes value) {
+  SlotState& st = slots_[slot];
+  st.my_root = dispersal_.disperse(value);
+  root_to_slot_[st.my_root] = slot;
+  // Availability may already hold (STORED acks race the disperse return
+  // only in retries; check anyway for idempotence).
+  if (dispersal_.is_available(st.my_root)) on_available(st.my_root);
+}
+
+void DumboMvba::on_available(const crypto::Digest& root) {
+  auto it = root_to_slot_.find(root);
+  if (it == root_to_slot_.end()) return;  // someone else's dispersal
+  const SlotId slot = it->second;
+  SlotState& st = slots_[slot];
+  if (st.proposed_to_vaba || st.decided) return;
+  st.proposed_to_vaba = true;
+  vaba_.propose(slot, encode_candidate(pid_, root));
+}
+
+void DumboMvba::on_vaba_decide(SlotId slot, ProcessId /*proposer*/,
+                               const Bytes& value) {
+  SlotState& st = slots_[slot];
+  if (st.decided) return;
+  ProcessId candidate_owner = 0;
+  crypto::Digest root{};
+  if (!decode_candidate(value, candidate_owner, root)) return;
+  dispersal_.retrieve(root, [this, slot, candidate_owner](
+                                const crypto::Digest&, Bytes batch) {
+    SlotState& st = slots_[slot];
+    if (st.decided) return;
+    st.decided = true;
+    if (decide_) decide_(slot, candidate_owner, batch);
+  });
+}
+
+bool DumboMvba::decided(SlotId slot) const {
+  auto it = slots_.find(slot);
+  return it != slots_.end() && it->second.decided;
+}
+
+}  // namespace dr::baselines

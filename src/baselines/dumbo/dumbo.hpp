@@ -1,0 +1,56 @@
+// Dumbo-MVBA-style multi-valued validated agreement (Lu, Lu, Tang, Wang,
+// PODC'20) — the amortized-O(n) baseline of Table 1. The trick over plain
+// VABA: big proposals are *dispersed* (AVID, O(|v| + n log n) bits), the
+// expensive agreement runs only on 36-byte commitment roots, and just the
+// winning proposal is retrieved.
+//
+// Per slot:
+//   1. disperse(my batch) -> root
+//   2. when 2f+1 STORED acks for my root: vaba.propose(slot, (pid, root))
+//   3. on VABA decide (slot, winner, (q, root_q)): retrieve(root_q)
+//   4. on retrieval: deliver (slot, q, batch)
+//
+// Simulation note: VABA's external-validity check ("root is available") is
+// enforced at propose time by the proposer's own 2f+1 STORED quorum; the
+// crash-fault experiments never exercise a Byzantine proposer lying about
+// availability (DESIGN.md §3).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "baselines/vaba/vaba.hpp"
+#include "rbc/avid_dispersal.hpp"
+
+namespace dr::baselines {
+
+class DumboMvba {
+ public:
+  using DecideFn =
+      std::function<void(SlotId slot, ProcessId proposer, const Bytes& value)>;
+
+  DumboMvba(sim::Network& net, ProcessId pid, coin::Coin& coin, DecideFn decide);
+
+  void propose(SlotId slot, Bytes value);
+  bool decided(SlotId slot) const;
+
+ private:
+  struct SlotState {
+    crypto::Digest my_root{};
+    bool proposed_to_vaba = false;
+    bool decided = false;
+  };
+
+  void on_available(const crypto::Digest& root);
+  void on_vaba_decide(SlotId slot, ProcessId proposer, const Bytes& value);
+
+  sim::Network& net_;
+  ProcessId pid_;
+  DecideFn decide_;
+  rbc::AvidDispersal dispersal_;
+  Vaba vaba_;
+  std::map<SlotId, SlotState> slots_;
+  std::map<crypto::Digest, SlotId> root_to_slot_;
+};
+
+}  // namespace dr::baselines

@@ -1,0 +1,105 @@
+// Trusted-dealer setup for the threshold coin.
+//
+// Substitution note (see DESIGN.md §3): the paper instantiates the coin with
+// an (f+1)-of-n threshold signature scheme (e.g. [42]) under a trusted PKI.
+// We reproduce the same share structure with Shamir sharing over Field61:
+// for every instance w the dealer defines a fresh degree-f polynomial whose
+// free coefficient is the instance secret; process i's "signature share" is
+// the evaluation at x = i+1. Any f+1 valid shares reconstruct the secret by
+// Lagrange interpolation; f or fewer reveal nothing (information-theoretic,
+// which is *stronger* than the computational guarantee of real threshold
+// signatures). Share verification — in reality a pairing/ZK check against
+// the PKI — is simulated by recomputation against dealer ground truth,
+// exposed through the narrow ShareVerifier interface below.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "crypto/field61.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/shamir.hpp"
+
+namespace dr::coin {
+
+/// Public share-verification capability. This is the only dealer power that
+/// protocol code (including Byzantine components) may hold: it corresponds
+/// to the public verification key of a threshold signature scheme.
+class ShareVerifier {
+ public:
+  virtual ~ShareVerifier() = default;
+  virtual bool verify_share(Wave w, std::uint64_t x, std::uint64_t y) const = 0;
+};
+
+class CoinDealer final : public ShareVerifier {
+ public:
+  CoinDealer(std::uint64_t master_seed, Committee committee)
+      : master_(master_seed), committee_(committee) {}
+
+  const Committee& committee() const { return committee_; }
+
+  /// Share threshold: f + 1, as in the paper.
+  std::uint32_t threshold() const { return committee_.small_quorum(); }
+
+  /// Process pid's share for instance w — its "private key" output.
+  /// Protocol components receive it through ShareDealer::my_share only.
+  crypto::ShamirShare share_for(Wave w, ProcessId pid) const {
+    return crypto::ShamirShare{pid + 1, poly_eval(w, pid + 1)};
+  }
+
+  bool verify_share(Wave w, std::uint64_t x, std::uint64_t y) const override {
+    if (x == 0 || x > committee_.n) return false;
+    return poly_eval(w, x) == y;
+  }
+
+  /// Instance secret (= polynomial at 0). TEST/ORACLE ONLY: protocol code
+  /// never calls this; doing so would break the unpredictability model.
+  std::uint64_t secret(Wave w) const { return coeff(w, 0); }
+
+ private:
+  /// j-th coefficient of instance w's degree-f polynomial, derived by PRF so
+  /// the dealer is stateless across unbounded instances.
+  std::uint64_t coeff(Wave w, std::uint32_t j) const {
+    std::uint8_t buf[20];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(master_ >> (8 * i));
+    for (int i = 0; i < 8; ++i) buf[8 + i] = static_cast<std::uint8_t>(w >> (8 * i));
+    for (int i = 0; i < 4; ++i) buf[16 + i] = static_cast<std::uint8_t>(j >> (8 * i));
+    const crypto::Digest d =
+        crypto::sha256_tagged("dagrider/coin-coeff", {BytesView{buf, 20}});
+    return crypto::Field61::reduce(crypto::digest_prefix_u64(d));
+  }
+
+  std::uint64_t poly_eval(Wave w, std::uint64_t x) const {
+    // Degree f polynomial, Horner form.
+    const std::uint32_t deg = committee_.f;
+    std::uint64_t y = 0;
+    for (std::uint32_t j = deg + 1; j-- > 0;) {
+      y = crypto::Field61::add(crypto::Field61::mul(y, x), coeff(w, j));
+    }
+    return y;
+  }
+
+  std::uint64_t master_;
+  Committee committee_;
+};
+
+/// The slice of dealer power handed to one process: its own shares plus the
+/// public verifier. Mirrors "private key share + public key" of a real
+/// threshold setup.
+class ProcessCoinKey {
+ public:
+  ProcessCoinKey(const CoinDealer* dealer, ProcessId pid)
+      : dealer_(dealer), pid_(pid) {}
+
+  ProcessId pid() const { return pid_; }
+  crypto::ShamirShare my_share(Wave w) const { return dealer_->share_for(w, pid_); }
+  const ShareVerifier& verifier() const { return *dealer_; }
+  std::uint32_t threshold() const { return dealer_->threshold(); }
+
+ private:
+  const CoinDealer* dealer_;
+  ProcessId pid_;
+};
+
+}  // namespace dr::coin

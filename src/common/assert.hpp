@@ -1,0 +1,26 @@
+// Hard invariant checks. These abort: an invariant violation inside a BFT
+// protocol simulation means the experiment itself is meaningless, so there is
+// no point in attempting recovery (Core Guidelines E.5 / I.4).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dr::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "DR_ASSERT failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+}  // namespace dr::detail
+
+#define DR_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::dr::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define DR_ASSERT_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) ::dr::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,16 @@
+#include "common/bytes.hpp"
+
+namespace dr {
+
+std::string to_hex(BytesView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace dr

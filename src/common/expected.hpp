@@ -1,0 +1,49 @@
+// A small Expected<T> used for fallible decode/verify paths where throwing
+// would be wrong (Byzantine inputs are expected, not exceptional).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace dr {
+
+/// Result of an operation that can fail with a human-readable reason.
+/// Intentionally simpler than std::expected (not in our toolchain's stdlib):
+/// errors are diagnostic strings because protocol code never branches on
+/// error *kind* — a bad message is dropped either way.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  static Expected failure(std::string reason) {
+    Expected e;
+    e.error_ = std::move(reason);
+    return e;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    DR_ASSERT_MSG(ok(), error_.c_str());
+    return *value_;
+  }
+  T&& value() && {
+    DR_ASSERT_MSG(ok(), error_.c_str());
+    return std::move(*value_);
+  }
+  const std::string& error() const {
+    DR_ASSERT(!ok());
+    return error_;
+  }
+
+ private:
+  Expected() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace dr

@@ -1,0 +1,20 @@
+#include "common/log.hpp"
+
+namespace dr {
+namespace {
+LogLevel g_level = LogLevel::kNone;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_write(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace dr

@@ -1,0 +1,27 @@
+// Tiny leveled logger. Off by default so tests and benchmarks stay quiet;
+// examples flip it on to narrate protocol progress.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dr {
+
+enum class LogLevel : int { kNone = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Global log threshold (a deliberate exception to I.2: logging is the one
+/// piece of cross-cutting mutable state, and it never affects behaviour).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_write(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace dr
+
+#define DR_LOG_INFO(...) ::dr::log_write(::dr::LogLevel::kInfo, __VA_ARGS__)
+#define DR_LOG_DEBUG(...) ::dr::log_write(::dr::LogLevel::kDebug, __VA_ARGS__)
+#define DR_LOG_TRACE(...) ::dr::log_write(::dr::LogLevel::kTrace, __VA_ARGS__)

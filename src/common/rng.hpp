@@ -1,0 +1,84 @@
+// Deterministic pseudo-random generators. Every source of randomness in the
+// repository (adversarial schedules, workloads, coin dealer secrets) is
+// derived from an explicit seed so that each experiment replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dr {
+
+/// SplitMix64 — used to expand a single seed into independent streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality stream generator for simulation use.
+/// Satisfies the UniformRandomBitGenerator concept for <random> adapters.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    while (true) {
+      const std::uint64_t x = (*this)();
+      // Rejection sample the top of the range.
+      if (x < max() - max() % bound) return x % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derives an independent child generator; used to give each process /
+  /// subsystem its own stream so adding a consumer never perturbs others.
+  Xoshiro256 fork(std::uint64_t salt) {
+    SplitMix64 sm((*this)() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x1234567));
+    return Xoshiro256(sm.next());
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace dr

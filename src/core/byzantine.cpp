@@ -1,0 +1,46 @@
+#include "core/byzantine.hpp"
+
+#include "dag/vertex.hpp"
+
+namespace dr::core {
+namespace {
+
+/// Mirrors BrachaRbc's SEND wire format (type | source | round | blob).
+Bytes encode_bracha_send(ProcessId source, Round r, BytesView payload) {
+  ByteWriter w(payload.size() + 20);
+  w.u8(1);  // BrachaRbc::kSend
+  w.u32(source);
+  w.u64(r);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+/// Produces a structurally valid conflicting vertex: same edges, different
+/// block bytes — the nastiest variant, indistinguishable except by content.
+Bytes mutate_payload(BytesView payload) {
+  auto parsed = dr::dag::Vertex::deserialize(payload);
+  if (!parsed) {
+    Bytes copy(payload.begin(), payload.end());
+    copy.push_back(0xFF);
+    return copy;
+  }
+  dr::dag::Vertex v = std::move(parsed).value();
+  v.block.push_back(0xEE);
+  return v.serialize();
+}
+
+}  // namespace
+
+EquivocatingBrachaRbc::EquivocatingBrachaRbc(sim::Network& net, ProcessId pid)
+    : net_(net), pid_(pid), inner_(net, pid) {}
+
+void EquivocatingBrachaRbc::broadcast(Round r, Bytes payload) {
+  const Bytes variant_b = mutate_payload(payload);
+  const Bytes send_a = encode_bracha_send(pid_, r, payload);
+  const Bytes send_b = encode_bracha_send(pid_, r, variant_b);
+  for (ProcessId to = 0; to < net_.n(); ++to) {
+    net_.send(pid_, to, sim::Channel::kBracha, to % 2 == 0 ? send_a : send_b);
+  }
+}
+
+}  // namespace dr::core

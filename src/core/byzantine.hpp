@@ -1,0 +1,35 @@
+// Byzantine behaviour implementations used by the harness, tests, and
+// fault-injection benches. These are attack *strategies* within the model —
+// the protocol must neutralize them, and the test suite checks that it does.
+#pragma once
+
+#include <memory>
+
+#include "rbc/bracha.hpp"
+#include "rbc/rbc.hpp"
+
+namespace dr::core {
+
+/// An equivocating broadcaster: on broadcast(r, m) it hand-crafts two
+/// conflicting Bracha SEND messages (payload m and a mutated m') and sends
+/// one to each half of the committee. It otherwise participates in the
+/// Bracha protocol honestly (echoes, readies) through the wrapped instance,
+/// which is the strongest profile for this attack: the split quorum can
+/// only be resolved by other processes' echoes.
+///
+/// Reliable broadcast Agreement must ensure all correct processes deliver
+/// the same variant (or none) — the equivocation tests assert exactly that.
+class EquivocatingBrachaRbc final : public rbc::ReliableBroadcast {
+ public:
+  EquivocatingBrachaRbc(sim::Network& net, ProcessId pid);
+
+  void set_deliver(DeliverFn fn) override { inner_.set_deliver(std::move(fn)); }
+  void broadcast(Round r, Bytes payload) override;
+
+ private:
+  sim::Network& net_;
+  ProcessId pid_;
+  rbc::BrachaRbc inner_;
+};
+
+}  // namespace dr::core

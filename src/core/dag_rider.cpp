@@ -1,0 +1,138 @@
+#include "core/dag_rider.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace dr::core {
+
+using dag::VertexId;
+
+DagRider::DagRider(dag::DagBuilder& builder, coin::Coin& coin)
+    : builder_(builder), coin_(coin) {
+  builder_.set_wave_ready([this](Wave w) { on_wave_ready(w); });
+}
+
+void DagRider::on_wave_ready(Wave w) {
+  ready_waves_.insert(w);
+  // Flip the coin only now that the wave is complete (Alg. 3 line 35): the
+  // adversary cannot learn the leader before the common core is fixed.
+  coin_.choose_leader(w, [this, w](ProcessId leader) { on_coin(w, leader); });
+  process_ready_waves();
+}
+
+void DagRider::on_coin(Wave w, ProcessId leader) {
+  coin_values_.emplace(w, leader);
+  process_ready_waves();
+}
+
+void DagRider::process_ready_waves() {
+  // A threshold coin may resolve waves out of order; waves are handled
+  // strictly in order so that line 40's look-back always finds the earlier
+  // waves' leaders already drawn.
+  if (processing_) return;  // guard: coin callbacks can reenter via deliver
+  processing_ = true;
+  while (ready_waves_.count(next_wave_to_process_) > 0 &&
+         coin_values_.count(next_wave_to_process_) > 0) {
+    const Wave w = next_wave_to_process_;
+    ++next_wave_to_process_;
+    ready_waves_.erase(w);
+    handle_wave(w, coin_values_[w]);
+  }
+  processing_ = false;
+}
+
+std::optional<VertexId> DagRider::wave_leader_vertex(Wave w,
+                                                     ProcessId leader) const {
+  const Round r1 = wave_round(w, 1, builder_.options().rounds_per_wave);
+  const VertexId id{leader, r1};
+  if (builder_.dag().contains(id)) return id;
+  return std::nullopt;  // ⊥: leader vertex not (yet) in the local DAG
+}
+
+void DagRider::handle_wave(Wave w, ProcessId leader_process) {
+  const dag::Dag& dag = builder_.dag();
+  const Round rpw = builder_.options().rounds_per_wave;
+  ++waves_evaluated_;
+
+  // Alg. 3 lines 35-37: leader vertex present and 2f+1 round(w,4) vertices
+  // with strong paths to it, else no commit in this wave.
+  const std::optional<VertexId> leader = wave_leader_vertex(w, leader_process);
+  if (!leader.has_value() ||
+      dag.strong_support_in_round(wave_round(w, rpw, rpw), *leader) <
+          dag.committee().quorum()) {
+    ++waves_no_direct_;
+    return;
+  }
+
+  // Lines 38-43: push the leader, then walk back over undecided waves and
+  // push every earlier leader connected by a strong path (it may have been
+  // committed by someone else; Lemma 1 forces us to order it first).
+  std::vector<std::pair<Wave, VertexId>> leaders_stack;
+  leaders_stack.emplace_back(w, *leader);
+  VertexId v = *leader;
+  for (Wave wp = w - 1; wp > decided_wave_; --wp) {
+    DR_ASSERT_MSG(coin_values_.count(wp) > 0,
+                  "waves processed in order: earlier coin must be drawn");
+    const std::optional<VertexId> vp =
+        wave_leader_vertex(wp, coin_values_[wp]);
+    if (vp.has_value() && dag.strong_path(v, *vp)) {
+      leaders_stack.emplace_back(wp, *vp);
+      v = *vp;
+    }
+  }
+  decided_wave_ = w;  // line 44
+  order_vertices(leaders_stack);
+
+  if (gc_depth_rounds_ > 0) {
+    const Round decided_round = wave_round(decided_wave_, 1, rpw);
+    if (decided_round > gc_depth_rounds_ + 1) {
+      const Round floor = decided_round - gc_depth_rounds_;
+      builder_.apply_gc_floor(floor);
+      // The delivered-id set no longer needs entries below the floor: the
+      // traversal prunes that region wholesale.
+      for (auto it = delivered_vertices_.begin();
+           it != delivered_vertices_.end();) {
+        it = it->round < floor ? delivered_vertices_.erase(it) : std::next(it);
+      }
+    }
+  }
+}
+
+void DagRider::order_vertices(
+    std::vector<std::pair<Wave, VertexId>>& leaders_stack) {
+  const dag::Dag& dag = builder_.dag();
+  // Pop in reverse push order: earliest wave's leader delivers first.
+  while (!leaders_stack.empty()) {
+    const auto [wave, leader] = leaders_stack.back();
+    leaders_stack.pop_back();
+    const bool direct = leaders_stack.empty();  // last popped == direct commit
+    committed_leaders_.emplace_back(wave, leader);
+    if (commit_observer_) commit_observer_(wave, leader, direct);
+
+    // Line 54: every vertex with a path from the leader, not yet delivered.
+    // Genesis vertices (round 0) carry no payload and are skipped, as is
+    // anything below the GC floor (compacted == delivered by the GC
+    // contract). Pruning at delivered vertices is sound because the
+    // delivered set is causally closed (ancestors of a delivered vertex
+    // are delivered).
+    const Round floor = dag.compacted_floor();
+    std::vector<VertexId> to_deliver = dag.causal_history(
+        leader, [this, floor](VertexId id) {
+          return id.round == 0 || id.round < floor ||
+                 delivered_vertices_.count(id) > 0;
+        });
+    // "In some deterministic order" (line 55): by (round, source).
+    std::sort(to_deliver.begin(), to_deliver.end());
+    for (const VertexId& id : to_deliver) {
+      const dag::Vertex* vx = dag.get(id);
+      DR_ASSERT(vx != nullptr);
+      delivered_vertices_.insert(id);
+      ++delivered_count_;
+      if (a_deliver_) a_deliver_(vx->block, vx->round, vx->source);
+    }
+  }
+}
+
+}  // namespace dr::core

@@ -1,0 +1,94 @@
+// DAG-Rider — Algorithm 3. The zero-overhead ordering layer: consumes
+// wave_ready signals from the DAG builder and leader draws from the global
+// coin, commits wave leaders via the 2f+1 strong-path rule, recovers skipped
+// waves transitively, and a_delivers causal histories deterministically.
+// This class sends no messages: it only reads the local DAG and the coin.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "coin/coin.hpp"
+#include "dag/builder.hpp"
+
+namespace dr::core {
+
+/// One a_deliver output record.
+struct Delivered {
+  Bytes block;
+  Round round = 0;       ///< the paper's sequence number r (vertex round)
+  ProcessId source = 0;  ///< p_k, the proposer
+};
+
+class DagRider {
+ public:
+  /// a_deliver(m, r, k).
+  using DeliverFn = std::function<void(const Bytes& block, Round r, ProcessId source)>;
+  /// Observer fired when a wave leader is committed (popped for delivery);
+  /// reports (wave, leader vertex, direct) where direct=false means the
+  /// leader was recovered transitively from a later wave's commit.
+  using CommitFn = std::function<void(Wave w, dag::VertexId leader, bool direct)>;
+
+  DagRider(dag::DagBuilder& builder, coin::Coin& coin);
+
+  void set_deliver(DeliverFn fn) { a_deliver_ = std::move(fn); }
+  void set_commit_observer(CommitFn fn) { commit_observer_ = std::move(fn); }
+
+  /// Enables DAG garbage collection (an extension over the paper; its
+  /// production descendants do the same): after wave w is decided, rounds
+  /// below round(w, 1) - depth_rounds are compacted. Trade-off: a correct
+  /// process whose vertex arrives more than ~depth_rounds late loses that
+  /// proposal (Validity becomes bounded-window); memory becomes bounded by
+  /// the window instead of growing with the run.
+  void enable_gc(Round depth_rounds) { gc_depth_rounds_ = depth_rounds; }
+
+  /// a_bcast(b, r): r is implicit — correct processes broadcast blocks with
+  /// consecutive sequence numbers, realized by the builder's round counter.
+  void a_bcast(Bytes block) { builder_.enqueue_block(std::move(block)); }
+
+  Wave decided_wave() const { return decided_wave_; }
+  std::uint64_t delivered_count() const { return delivered_count_; }
+  /// Waves whose leader this process committed, in commit order.
+  const std::vector<std::pair<Wave, dag::VertexId>>& committed_leaders() const {
+    return committed_leaders_;
+  }
+  /// Number of waves evaluated whose commit rule failed directly (skipped at
+  /// evaluation time; they may still be recovered transitively later).
+  std::uint64_t waves_without_direct_commit() const { return waves_no_direct_; }
+  std::uint64_t waves_evaluated() const { return waves_evaluated_; }
+
+ private:
+  void on_wave_ready(Wave w);
+  void on_coin(Wave w, ProcessId leader);
+  /// Runs every ready wave whose coin (and all earlier coins) resolved.
+  void process_ready_waves();
+  void handle_wave(Wave w, ProcessId leader_process);
+  /// get_wave_vertex_leader (Alg. 3 line 46): the leader's round(w,1)
+  /// vertex in the local DAG, if present.
+  std::optional<dag::VertexId> wave_leader_vertex(Wave w, ProcessId leader) const;
+  void order_vertices(std::vector<std::pair<Wave, dag::VertexId>>& leaders_stack);
+
+  dag::DagBuilder& builder_;
+  coin::Coin& coin_;
+  DeliverFn a_deliver_;
+  CommitFn commit_observer_;
+
+  Wave decided_wave_ = 0;
+  Wave next_wave_to_process_ = 1;
+  std::set<Wave> ready_waves_;
+  std::map<Wave, ProcessId> coin_values_;
+  std::unordered_set<dag::VertexId, dag::VertexIdHash> delivered_vertices_;
+  std::vector<std::pair<Wave, dag::VertexId>> committed_leaders_;
+  std::uint64_t delivered_count_ = 0;
+  std::uint64_t waves_no_direct_ = 0;
+  std::uint64_t waves_evaluated_ = 0;
+  bool processing_ = false;
+  Round gc_depth_rounds_ = 0;  ///< 0 = GC disabled (the paper's semantics)
+};
+
+}  // namespace dr::core

@@ -1,0 +1,171 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/byzantine.hpp"
+
+namespace dr::core {
+
+Node::Node(sim::Network& net, ProcessId pid, const SystemConfig& cfg,
+           const coin::CoinDealer* dealer, std::uint64_t node_seed,
+           sim::Simulator& sim) {
+  const FaultKind fault =
+      pid < cfg.faults.size() ? cfg.faults[pid] : FaultKind::kNone;
+
+  if (fault == FaultKind::kEquivocate) {
+    DR_ASSERT_MSG(cfg.rbc_kind == rbc::RbcKind::kBracha,
+                  "equivocation attack is implemented for Bracha RBC");
+    rbc_ = std::make_unique<EquivocatingBrachaRbc>(net, pid);
+  } else {
+    rbc_ = rbc::make_factory(cfg.rbc_kind, cfg.gossip)(net, pid, cfg.seed);
+  }
+
+  coin::ThresholdCoin* threshold_coin = nullptr;
+  switch (cfg.coin_mode) {
+    case CoinMode::kLocal:
+      coin_ = std::make_unique<coin::LocalCoin>(cfg.seed ^ 0xC0111ULL,
+                                                cfg.committee.n);
+      break;
+    case CoinMode::kThreshold:
+    case CoinMode::kPiggyback: {
+      auto tc = std::make_unique<coin::ThresholdCoin>(
+          net, coin::ProcessCoinKey(dealer, pid),
+          /*broadcast_shares=*/cfg.coin_mode == CoinMode::kThreshold);
+      threshold_coin = tc.get();
+      coin_ = std::move(tc);
+      break;
+    }
+  }
+
+  builder_ = std::make_unique<dag::DagBuilder>(cfg.committee, pid, *rbc_,
+                                               cfg.builder);
+  if (cfg.coin_mode == CoinMode::kPiggyback) {
+    builder_->enable_coin_piggyback(
+        [threshold_coin](Wave w) { return threshold_coin->share_to_embed(w); },
+        [threshold_coin](ProcessId from, Wave w, std::uint64_t y) {
+          threshold_coin->ingest_share(from, w, y);
+        });
+  }
+  rider_ = std::make_unique<DagRider>(*builder_, *coin_);
+  if (cfg.gc_depth_rounds > 0) rider_->enable_gc(cfg.gc_depth_rounds);
+  rider_->set_deliver([this, &sim](const Bytes& block, Round r, ProcessId src) {
+    delivered_.push_back(DeliveredRecord{crypto::sha256(block), block.size(), r,
+                                         src, sim.now()});
+    if (app_deliver_) app_deliver_(block, r, src);
+  });
+  rider_->set_commit_observer(
+      [this, &sim](Wave w, dag::VertexId leader, bool direct) {
+        commits_.push_back(CommitRecord{w, leader, direct, sim.now()});
+      });
+  (void)node_seed;
+}
+
+System::System(SystemConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
+  DR_ASSERT_MSG(cfg_.committee.valid(), "System: committee must satisfy n > 3f");
+  if (!cfg_.delays) {
+    cfg_.delays = std::make_unique<sim::UniformDelay>(1, 100);
+  }
+  net_ = std::make_unique<sim::Network>(sim_, cfg_.committee,
+                                        std::move(cfg_.delays));
+  faults_ = cfg_.faults;
+  faults_.resize(cfg_.committee.n, FaultKind::kNone);
+  cfg_.faults = faults_;
+
+  dealer_ = std::make_unique<coin::CoinDealer>(cfg_.seed ^ 0xDEA1ULL,
+                                               cfg_.committee);
+
+  // Mark faults on the network before any traffic flows: crash silences a
+  // process entirely; silent/equivocating processes count as corrupted for
+  // the adversary budget and the honest-bytes accounting.
+  for (ProcessId pid = 0; pid < cfg_.committee.n; ++pid) {
+    if (faults_[pid] == FaultKind::kCrash) {
+      net_->crash(pid);
+    } else if (faults_[pid] != FaultKind::kNone) {
+      net_->corrupt(pid);
+    }
+  }
+
+  Xoshiro256 seeder(cfg_.seed ^ 0x5EEDULL);
+  nodes_.reserve(cfg_.committee.n);
+  for (ProcessId pid = 0; pid < cfg_.committee.n; ++pid) {
+    nodes_.push_back(std::make_unique<Node>(*net_, pid, cfg_, dealer_.get(),
+                                            seeder(), sim_));
+  }
+}
+
+System::~System() = default;
+
+void System::start() {
+  for (ProcessId pid = 0; pid < cfg_.committee.n; ++pid) {
+    // Crashed processes never run; silent ones only service others' RBC
+    // instances (their components are wired but propose nothing).
+    if (faults_[pid] == FaultKind::kCrash || faults_[pid] == FaultKind::kSilent) {
+      continue;
+    }
+    nodes_[pid]->builder().start();
+  }
+}
+
+std::vector<ProcessId> System::correct_ids() const {
+  std::vector<ProcessId> out;
+  for (ProcessId pid = 0; pid < cfg_.committee.n; ++pid) {
+    if (is_correct(pid)) out.push_back(pid);
+  }
+  return out;
+}
+
+bool System::run_until_delivered(std::uint64_t count, std::uint64_t max_events) {
+  return sim_.run_until(
+      [this, count] {
+        for (ProcessId pid : correct_ids()) {
+          if (nodes_[pid]->rider().delivered_count() < count) return false;
+        }
+        return true;
+      },
+      max_events);
+}
+
+bool System::run_until_wave_decided(Wave w, std::uint64_t max_events) {
+  return sim_.run_until(
+      [this, w] {
+        for (ProcessId pid : correct_ids()) {
+          if (nodes_[pid]->rider().decided_wave() < w) return false;
+        }
+        return true;
+      },
+      max_events);
+}
+
+bool prefix_consistent(const System& sys) {
+  const std::vector<ProcessId> ids = sys.correct_ids();
+  for (std::size_t a = 0; a < ids.size(); ++a) {
+    for (std::size_t b = a + 1; b < ids.size(); ++b) {
+      const auto& la = sys.node(ids[a]).delivered();
+      const auto& lb = sys.node(ids[b]).delivered();
+      const std::size_t len = std::min(la.size(), lb.size());
+      for (std::size_t i = 0; i < len; ++i) {
+        if (!la[i].same_value(lb[i])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+double chain_quality(const System& sys) {
+  const std::vector<ProcessId> ids = sys.correct_ids();
+  if (ids.empty()) return 0.0;
+  std::size_t prefix = SIZE_MAX;
+  for (ProcessId pid : ids) {
+    prefix = std::min(prefix, sys.node(pid).delivered().size());
+  }
+  if (prefix == 0 || prefix == SIZE_MAX) return 0.0;
+  const auto& log = sys.node(ids[0]).delivered();
+  std::size_t correct_blocks = 0;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    if (sys.is_correct(log[i].source)) ++correct_blocks;
+  }
+  return static_cast<double>(correct_blocks) / static_cast<double>(prefix);
+}
+
+}  // namespace dr::core

@@ -1,0 +1,64 @@
+// Arithmetic modulo the Mersenne prime p = 2^61 - 1. Field for the Shamir
+// secret sharing behind the threshold coin: big enough that a uniformly
+// drawn coin value mod n is (negligibly close to) fair for any realistic n,
+// small enough that products fit in unsigned 128-bit arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace dr::crypto {
+
+class Field61 {
+ public:
+  static constexpr std::uint64_t kP = (1ULL << 61) - 1;
+
+  /// Canonical representative in [0, p).
+  static constexpr std::uint64_t reduce(std::uint64_t x) {
+    // x < 2^64; fold twice to land under p.
+    x = (x & kP) + (x >> 61);
+    if (x >= kP) x -= kP;
+    return x;
+  }
+
+  static constexpr std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t s = a + b;  // < 2^62, no overflow
+    if (s >= kP) s -= kP;
+    return s;
+  }
+
+  static constexpr std::uint64_t sub(std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : a + kP - b;
+  }
+
+  static constexpr std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+    __extension__ using u128 = unsigned __int128;
+    const u128 prod = static_cast<u128>(a) * static_cast<u128>(b);
+    const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kP;
+    const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kP) s -= kP;
+    return s;
+  }
+
+  static constexpr std::uint64_t pow(std::uint64_t base, std::uint64_t e) {
+    std::uint64_t acc = 1;
+    base = reduce(base);
+    while (e > 0) {
+      if (e & 1) acc = mul(acc, base);
+      base = mul(base, base);
+      e >>= 1;
+    }
+    return acc;
+  }
+
+  /// Multiplicative inverse via Fermat's little theorem; a must be nonzero.
+  static std::uint64_t inv(std::uint64_t a) {
+    a = reduce(a);
+    DR_ASSERT_MSG(a != 0, "Field61 inverse of zero");
+    return pow(a, kP - 2);
+  }
+};
+
+}  // namespace dr::crypto

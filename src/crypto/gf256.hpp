@@ -1,0 +1,39 @@
+// GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11b).
+// Backs the Reed–Solomon erasure codes used by the AVID broadcast.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dr::crypto {
+
+/// Log/antilog tables built once at static-init time.
+class GF256 {
+ public:
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+  static std::uint8_t sub(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+    if (a == 0 || b == 0) return 0;
+    const Tables& t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+  }
+
+  /// Multiplicative inverse; a must be nonzero.
+  static std::uint8_t inv(std::uint8_t a);
+
+  /// a / b; b must be nonzero.
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+  /// alpha^e where alpha = 0x03 is a generator of GF(256)*.
+  static std::uint8_t exp(unsigned e) { return tables().exp[e % 255]; }
+
+ private:
+  struct Tables {
+    std::array<std::uint8_t, 512> exp;  // doubled to skip the mod-255 in mul
+    std::array<std::uint8_t, 256> log;
+  };
+  static const Tables& tables();
+};
+
+}  // namespace dr::crypto

@@ -1,0 +1,105 @@
+#include "crypto/merkle.hpp"
+
+#include "common/assert.hpp"
+
+namespace dr::crypto {
+
+Digest MerkleTree::hash_leaf(BytesView leaf) {
+  Sha256 ctx;
+  const std::uint8_t tag = 0x00;
+  ctx.update(BytesView{&tag, 1});
+  ctx.update(leaf);
+  return ctx.finish();
+}
+
+Digest MerkleTree::hash_node(const Digest& left, const Digest& right) {
+  Sha256 ctx;
+  const std::uint8_t tag = 0x01;
+  ctx.update(BytesView{&tag, 1});
+  ctx.update(BytesView{left.data(), left.size()});
+  ctx.update(BytesView{right.data(), right.size()});
+  return ctx.finish();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) {
+  DR_ASSERT_MSG(!leaves.empty(), "MerkleTree over zero leaves");
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(hash_leaf(leaf));
+  levels_.push_back(std::move(level));
+  while (levels_.back().size() > 1) {
+    const std::vector<Digest>& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(hash_node(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote odd node
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleProof MerkleTree::prove(std::uint32_t index) const {
+  DR_ASSERT(index < leaf_count());
+  MerkleProof proof;
+  proof.leaf_index = index;
+  proof.leaf_count = leaf_count();
+  std::uint32_t i = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const std::vector<Digest>& level = levels_[lvl];
+    const std::uint32_t sibling = i ^ 1u;
+    if (sibling < level.size()) proof.siblings.push_back(level[sibling]);
+    // A promoted odd node has no sibling on this level and hashes upward
+    // unchanged, so nothing is appended for it.
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& root, BytesView leaf,
+                        const MerkleProof& proof) {
+  if (proof.leaf_index >= proof.leaf_count || proof.leaf_count == 0) return false;
+  Digest acc = hash_leaf(leaf);
+  std::uint32_t i = proof.leaf_index;
+  std::uint32_t count = proof.leaf_count;
+  std::size_t used = 0;
+  while (count > 1) {
+    const std::uint32_t sibling = i ^ 1u;
+    if (sibling < count) {
+      if (used >= proof.siblings.size()) return false;
+      const Digest& sib = proof.siblings[used++];
+      acc = (i % 2 == 0) ? hash_node(acc, sib) : hash_node(sib, acc);
+    }
+    i /= 2;
+    count = (count + 1) / 2;
+  }
+  return used == proof.siblings.size() && acc == root;
+}
+
+Bytes MerkleProof::serialize() const {
+  ByteWriter w(wire_size());
+  w.u32(leaf_index);
+  w.u32(leaf_count);
+  w.u32(static_cast<std::uint32_t>(siblings.size()));
+  for (const Digest& d : siblings) w.raw(BytesView{d.data(), d.size()});
+  return std::move(w).take();
+}
+
+bool MerkleProof::deserialize(ByteReader& in, MerkleProof& out) {
+  out.leaf_index = in.u32();
+  out.leaf_count = in.u32();
+  const std::uint32_t n = in.u32();
+  if (!in.ok() || n > 64) return false;  // > 2^64 leaves is nonsense
+  out.siblings.clear();
+  out.siblings.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Bytes raw = in.raw(kDigestSize);
+    if (!in.ok()) return false;
+    Digest d{};
+    std::copy(raw.begin(), raw.end(), d.begin());
+    out.siblings.push_back(d);
+  }
+  return in.ok();
+}
+
+}  // namespace dr::crypto

@@ -1,0 +1,49 @@
+// Binary Merkle tree with inclusion proofs; commits an AVID sender to the
+// full fragment vector so Byzantine senders cannot hand out inconsistent
+// erasure-coded shards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dr::crypto {
+
+struct MerkleProof {
+  std::uint32_t leaf_index = 0;
+  std::uint32_t leaf_count = 0;
+  std::vector<Digest> siblings;  // bottom-up
+
+  Bytes serialize() const;
+  static bool deserialize(ByteReader& in, MerkleProof& out);
+  /// Wire size in bytes; used for communication accounting.
+  std::size_t wire_size() const { return 12 + siblings.size() * kDigestSize; }
+};
+
+/// Immutable tree over a vector of leaf byte-strings.
+/// Leaves are hashed with a domain tag distinct from interior nodes, so a
+/// leaf can never be reinterpreted as an interior node (second-preimage
+/// hardening). An odd node on a level is promoted, not duplicated.
+class MerkleTree {
+ public:
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  const Digest& root() const { return levels_.back()[0]; }
+  std::uint32_t leaf_count() const {
+    return static_cast<std::uint32_t>(levels_[0].size());
+  }
+  MerkleProof prove(std::uint32_t index) const;
+
+  /// Stateless verification of (leaf bytes, proof) against a root.
+  static bool verify(const Digest& root, BytesView leaf, const MerkleProof& proof);
+
+  static Digest hash_leaf(BytesView leaf);
+  static Digest hash_node(const Digest& left, const Digest& right);
+
+ private:
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaf hashes
+};
+
+}  // namespace dr::crypto

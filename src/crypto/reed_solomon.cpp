@@ -1,0 +1,161 @@
+#include "crypto/reed_solomon.hpp"
+
+#include <algorithm>
+
+#include "crypto/gf256.hpp"
+
+namespace dr::crypto {
+namespace {
+
+/// Gaussian elimination over GF(256). `a` is an n x n matrix (row-major),
+/// `b` holds n rows of shard bytes. Solves a * x = b in place; x replaces b.
+bool gauss_solve(std::vector<std::uint8_t>& a, std::vector<Bytes>& b,
+                 std::uint32_t n) {
+  const auto at = [&](std::uint32_t r, std::uint32_t c) -> std::uint8_t& {
+    return a[r * n + c];
+  };
+  for (std::uint32_t col = 0; col < n; ++col) {
+    // Find a pivot row.
+    std::uint32_t pivot = col;
+    while (pivot < n && at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return false;  // singular
+    if (pivot != col) {
+      for (std::uint32_t c = 0; c < n; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    // Normalize the pivot row.
+    const std::uint8_t inv = GF256::inv(at(col, col));
+    for (std::uint32_t c = 0; c < n; ++c) at(col, c) = GF256::mul(at(col, c), inv);
+    for (auto& byte : b[col]) byte = GF256::mul(byte, inv);
+    // Eliminate the column everywhere else.
+    for (std::uint32_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = at(r, col);
+      if (factor == 0) continue;
+      for (std::uint32_t c = 0; c < n; ++c) {
+        at(r, c) = GF256::add(at(r, c), GF256::mul(factor, at(col, c)));
+      }
+      for (std::size_t i = 0; i < b[r].size(); ++i) {
+        b[r][i] = GF256::add(b[r][i], GF256::mul(factor, b[col][i]));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::uint32_t k, std::uint32_t m) : k_(k), m_(m) {
+  DR_ASSERT_MSG(k >= 1 && k + m <= 255, "ReedSolomon: invalid (k, m)");
+}
+
+std::uint8_t ReedSolomon::matrix_at(std::uint32_t row, std::uint32_t col) const {
+  DR_ASSERT(col < k_ && row < k_ + m_);
+  if (row < k_) return row == col ? 1 : 0;  // systematic identity block
+  // Cauchy block: 1 / (x_i + y_j) with x_i = k..k+m-1, y_j = 0..k-1.
+  // x and y ranges are disjoint in GF(256), so x_i + y_j (XOR of distinct
+  // values) is nonzero and every square submatrix is invertible.
+  const std::uint8_t x = static_cast<std::uint8_t>(row);        // k..k+m-1
+  const std::uint8_t y = static_cast<std::uint8_t>(col);        // 0..k-1
+  return GF256::inv(GF256::add(x, y));
+}
+
+std::vector<Bytes> ReedSolomon::encode(BytesView data) const {
+  // 8-byte little-endian length header so decode strips padding exactly.
+  const std::uint64_t len = data.size();
+  const std::size_t padded = len + 8;
+  const std::size_t shard_size = (padded + k_ - 1) / k_;
+
+  std::vector<Bytes> shards(k_ + m_);
+  Bytes flat(shard_size * k_, 0);
+  for (int i = 0; i < 8; ++i) flat[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  std::copy(data.begin(), data.end(), flat.begin() + 8);
+
+  for (std::uint32_t i = 0; i < k_; ++i) {
+    shards[i] = Bytes(flat.begin() + static_cast<std::ptrdiff_t>(i * shard_size),
+                      flat.begin() + static_cast<std::ptrdiff_t>((i + 1) * shard_size));
+  }
+  for (std::uint32_t r = 0; r < m_; ++r) {
+    Bytes parity(shard_size, 0);
+    for (std::uint32_t c = 0; c < k_; ++c) {
+      const std::uint8_t coef = matrix_at(k_ + r, c);
+      if (coef == 0) continue;
+      for (std::size_t i = 0; i < shard_size; ++i) {
+        parity[i] = GF256::add(parity[i], GF256::mul(coef, shards[c][i]));
+      }
+    }
+    shards[k_ + r] = std::move(parity);
+  }
+  return shards;
+}
+
+Expected<std::vector<Bytes>> ReedSolomon::solve_data(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  if (shards.size() != k_ + m_) {
+    return Expected<std::vector<Bytes>>::failure("wrong shard vector size");
+  }
+  // Collect the first k present shards and their matrix rows.
+  std::vector<std::uint8_t> a;
+  a.reserve(static_cast<std::size_t>(k_) * k_);
+  std::vector<Bytes> b;
+  std::size_t shard_size = 0;
+  for (std::uint32_t i = 0; i < k_ + m_ && b.size() < k_; ++i) {
+    if (!shards[i].has_value()) continue;
+    if (shard_size == 0) {
+      shard_size = shards[i]->size();
+      if (shard_size == 0) {
+        return Expected<std::vector<Bytes>>::failure("empty shard");
+      }
+    } else if (shards[i]->size() != shard_size) {
+      return Expected<std::vector<Bytes>>::failure("inconsistent shard sizes");
+    }
+    for (std::uint32_t c = 0; c < k_; ++c) a.push_back(matrix_at(i, c));
+    b.push_back(*shards[i]);
+  }
+  if (b.size() < k_) {
+    return Expected<std::vector<Bytes>>::failure("not enough shards to decode");
+  }
+  if (!gauss_solve(a, b, k_)) {
+    return Expected<std::vector<Bytes>>::failure("singular decode matrix");
+  }
+  return b;
+}
+
+Expected<Bytes> ReedSolomon::decode(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  auto data = solve_data(shards);
+  if (!data) return Expected<Bytes>::failure(data.error());
+  const std::vector<Bytes>& rows = data.value();
+  const std::size_t shard_size = rows[0].size();
+
+  Bytes flat;
+  flat.reserve(shard_size * k_);
+  for (const Bytes& row : rows) flat.insert(flat.end(), row.begin(), row.end());
+
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) len |= static_cast<std::uint64_t>(flat[i]) << (8 * i);
+  if (len + 8 > flat.size()) {
+    return Expected<Bytes>::failure("corrupt length header");
+  }
+  return Bytes(flat.begin() + 8, flat.begin() + static_cast<std::ptrdiff_t>(8 + len));
+}
+
+Expected<Bytes> ReedSolomon::reconstruct_shard(
+    const std::vector<std::optional<Bytes>>& shards, std::uint32_t index) const {
+  if (index >= k_ + m_) return Expected<Bytes>::failure("shard index out of range");
+  auto data = solve_data(shards);
+  if (!data) return Expected<Bytes>::failure(data.error());
+  const std::vector<Bytes>& rows = data.value();
+  const std::size_t shard_size = rows[0].size();
+  Bytes out(shard_size, 0);
+  for (std::uint32_t c = 0; c < k_; ++c) {
+    const std::uint8_t coef = matrix_at(index, c);
+    if (coef == 0) continue;
+    for (std::size_t i = 0; i < shard_size; ++i) {
+      out[i] = GF256::add(out[i], GF256::mul(coef, rows[c][i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace dr::crypto

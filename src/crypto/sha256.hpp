@@ -1,0 +1,50 @@
+// SHA-256 implemented from scratch (FIPS 180-4). Used for vertex digests,
+// Merkle trees in the AVID broadcast, and as the PRF behind the coin dealer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace dr::crypto {
+
+inline constexpr std::size_t kDigestSize = 32;
+using Digest = std::array<std::uint8_t, kDigestSize>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  void update(std::string_view s) {
+    update(BytesView{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+  /// Finalizes and returns the digest; the context must be reset() to reuse.
+  Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(BytesView data);
+Digest sha256(std::string_view s);
+
+/// Domain-separated hash of several fields: H(tag || len(a)||a || ...).
+Digest sha256_tagged(std::string_view tag, std::initializer_list<BytesView> parts);
+
+/// First 8 bytes of a digest as a little-endian u64 (leader election, PRF).
+std::uint64_t digest_prefix_u64(const Digest& d);
+
+Bytes digest_bytes(const Digest& d);
+
+}  // namespace dr::crypto

@@ -1,0 +1,57 @@
+#include "crypto/shamir.hpp"
+
+#include "common/assert.hpp"
+
+namespace dr::crypto {
+
+std::vector<ShamirShare> Shamir::split(std::uint64_t secret,
+                                       std::uint32_t threshold, std::uint32_t n,
+                                       Xoshiro256& rng) {
+  DR_ASSERT_MSG(threshold >= 1 && threshold <= n, "Shamir: bad threshold");
+  // coeffs[0] = secret; higher coefficients uniform in the field.
+  std::vector<std::uint64_t> coeffs(threshold);
+  coeffs[0] = Field61::reduce(secret);
+  for (std::uint32_t i = 1; i < threshold; ++i) {
+    std::uint64_t c;
+    do {
+      c = rng() & ((1ULL << 61) - 1);
+    } while (c >= Field61::kP);  // rejection sample for uniformity
+    coeffs[i] = c;
+  }
+  std::vector<ShamirShare> shares(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t x = i + 1;
+    // Horner evaluation.
+    std::uint64_t y = 0;
+    for (std::uint32_t j = threshold; j-- > 0;) {
+      y = Field61::add(Field61::mul(y, x), coeffs[j]);
+    }
+    shares[i] = ShamirShare{x, y};
+  }
+  return shares;
+}
+
+std::uint64_t Shamir::interpolate_at(const std::vector<ShamirShare>& shares,
+                                     std::uint64_t at) {
+  DR_ASSERT_MSG(!shares.empty(), "Shamir: no shares");
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    std::uint64_t num = 1;
+    std::uint64_t den = 1;
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      num = Field61::mul(num, Field61::sub(at, shares[j].x));
+      den = Field61::mul(den, Field61::sub(shares[i].x, shares[j].x));
+    }
+    const std::uint64_t term =
+        Field61::mul(shares[i].y, Field61::mul(num, Field61::inv(den)));
+    acc = Field61::add(acc, term);
+  }
+  return acc;
+}
+
+std::uint64_t Shamir::reconstruct(const std::vector<ShamirShare>& shares) {
+  return interpolate_at(shares, 0);
+}
+
+}  // namespace dr::crypto

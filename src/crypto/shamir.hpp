@@ -1,0 +1,38 @@
+// Shamir secret sharing over Field61. The threshold coin's dealer shares one
+// master secret per coin instance; any `threshold` shares reconstruct it via
+// Lagrange interpolation at x = 0, fewer reveal nothing (information-
+// theoretically), which is what the paper's unpredictability property needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/field61.hpp"
+
+namespace dr::crypto {
+
+struct ShamirShare {
+  std::uint64_t x = 0;  ///< evaluation point (process index + 1; never 0)
+  std::uint64_t y = 0;  ///< polynomial value, an element of Field61
+};
+
+class Shamir {
+ public:
+  /// Splits `secret` into n shares with reconstruction threshold `threshold`
+  /// (polynomial degree threshold - 1). Coefficients drawn from `rng`.
+  static std::vector<ShamirShare> split(std::uint64_t secret,
+                                        std::uint32_t threshold, std::uint32_t n,
+                                        Xoshiro256& rng);
+
+  /// Lagrange interpolation at x = 0 over exactly `threshold` shares.
+  /// Precondition: share x-coordinates are distinct and nonzero.
+  static std::uint64_t reconstruct(const std::vector<ShamirShare>& shares);
+
+  /// Evaluates the sharing polynomial implied by `shares` at point x.
+  /// Used by the coin dealer to verify a claimed share against ground truth.
+  static std::uint64_t interpolate_at(const std::vector<ShamirShare>& shares,
+                                      std::uint64_t x);
+};
+
+}  // namespace dr::crypto

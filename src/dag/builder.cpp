@@ -1,0 +1,229 @@
+#include "dag/builder.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace dr::dag {
+
+DagBuilder::DagBuilder(Committee committee, ProcessId pid,
+                       rbc::ReliableBroadcast& rbc, BuilderOptions options)
+    : committee_(committee),
+      pid_(pid),
+      rbc_(rbc),
+      options_(options),
+      dag_(committee),
+      buffered_per_source_(committee.n, 0) {
+  DR_ASSERT(pid < committee.n);
+  DR_ASSERT(options_.rounds_per_wave >= 1);
+  rbc_.set_deliver([this](ProcessId source, Round r, Bytes payload) {
+    on_deliver(source, r, std::move(payload));
+  });
+}
+
+void DagBuilder::enqueue_block(Bytes block) {
+  blocks_to_propose_.push_back(std::move(block));
+  if (started_) pump();  // a block can unblock round advancement
+}
+
+void DagBuilder::start() {
+  DR_ASSERT_MSG(!started_, "DagBuilder::start called twice");
+  started_ = true;
+  pump();
+}
+
+bool DagBuilder::validate(const Vertex& v) const {
+  if (v.source >= committee_.n || v.round < 1) return false;
+  // Alg. 2 line 25: at least 2f+1 strong edges into the previous round.
+  if (v.strong_edges.size() < committee_.quorum()) return false;
+  std::unordered_set<ProcessId> seen;
+  for (ProcessId p : v.strong_edges) {
+    if (p >= committee_.n || !seen.insert(p).second) return false;
+  }
+  std::unordered_set<std::uint64_t> weak_seen;
+  for (const VertexId& id : v.weak_edges) {
+    // Weak edges target rounds r' with 1 <= r' < round-1 (Alg. 2 line 29).
+    if (id.source >= committee_.n || id.round < 1 || id.round + 1 >= v.round) {
+      return false;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(id.source) << 40) ^ id.round;
+    if (!weak_seen.insert(key).second) return false;
+  }
+  return true;
+}
+
+void DagBuilder::on_deliver(ProcessId source, Round r, Bytes payload) {
+  auto parsed = Vertex::deserialize(payload);
+  if (!parsed) return;  // malformed Byzantine vertex — drop
+  Vertex v = std::move(parsed).value();
+  // Source and round come from the reliable broadcast metadata
+  // (Alg. 2 lines 23-24); the payload cannot spoof them.
+  v.source = source;
+  v.round = r;
+  if (r < gc_floor_) return;  // arrived after its round was collected
+  if (!validate(v)) return;
+  if (dag_.contains(v.id())) return;  // duplicate (RBC Integrity backstop)
+
+  // Piggybacked coin share: the vertex opening round 4w+1 may carry its
+  // sender's share for wave w (paper footnote 1).
+  if (v.has_coin_share && coin_sink_ && v.round % options_.rounds_per_wave == 1) {
+    const Wave w = (v.round - 1) / options_.rounds_per_wave;
+    if (w >= 1) coin_sink_(source, w, v.coin_share);
+  }
+
+  if (buffered_per_source_[source] >= options_.buffer_quota_per_source) {
+    ++quota_rejections_;
+    return;  // flooding defense: sender parked too many orphan vertices
+  }
+  buffered_per_source_[source] += 1;
+  buffer_.push_back(std::move(v));
+  if (started_) pump();
+}
+
+bool DagBuilder::try_insert_buffered() {
+  bool inserted_any = false;
+  for (std::size_t i = 0; i < buffer_.size();) {
+    Vertex& v = buffer_[i];
+    if (v.round < gc_floor_) {  // its round was collected while buffered
+      buffered_per_source_[v.source] -= 1;
+      buffer_[i] = std::move(buffer_.back());
+      buffer_.pop_back();
+      continue;
+    }
+    // Paper processes buffered vertices with v.round <= r (Alg. 2 line 6).
+    bool ready = v.round <= round_;
+    if (ready) {
+      for (ProcessId p : v.strong_edges) {
+        if (!dag_.contains(VertexId{p, v.round - 1})) {
+          ready = false;
+          break;
+        }
+      }
+    }
+    if (ready) {
+      for (const VertexId& id : v.weak_edges) {
+        if (!dag_.contains(id)) {
+          ready = false;
+          break;
+        }
+      }
+    }
+    if (!ready) {
+      ++i;
+      continue;
+    }
+    if (dag_.contains(v.id())) {  // duplicate raced into the DAG
+      buffered_per_source_[v.source] -= 1;
+      buffer_[i] = std::move(buffer_.back());
+      buffer_.pop_back();
+      continue;
+    }
+    Vertex taken = std::move(v);
+    buffered_per_source_[taken.source] -= 1;
+    buffer_[i] = std::move(buffer_.back());
+    buffer_.pop_back();
+    const VertexId id = taken.id();
+    dag_.insert(std::move(taken));
+    if (vertex_added_) vertex_added_(*dag_.get(id));
+    inserted_any = true;
+    // Restart the scan: the insert may unblock earlier-scanned vertices.
+    i = 0;
+  }
+  return inserted_any;
+}
+
+bool DagBuilder::can_advance() const {
+  if (dag_.round_size(round_) < committee_.quorum()) return false;
+  // create_new_vertex waits for a block (Alg. 2 line 17); auto_blocks
+  // realizes the "infinitely many blocks" assumption.
+  return !blocks_to_propose_.empty() || options_.auto_blocks;
+}
+
+void DagBuilder::pump() {
+  if (pumping_) return;  // guard against reentrancy via callbacks
+  pumping_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = try_insert_buffered();
+    while (can_advance()) {
+      advance_round();
+      progress = true;
+    }
+  }
+  pumping_ = false;
+}
+
+void DagBuilder::advance_round() {
+  if (round_ % options_.rounds_per_wave == 0 && round_ > 0 && wave_ready_) {
+    wave_ready_(round_ / options_.rounds_per_wave);  // Alg. 2 line 12
+  }
+  round_ += 1;
+  Vertex v = create_new_vertex(round_);
+  DR_LOG_TRACE("p%u broadcasts vertex round=%llu strong=%zu weak=%zu", pid_,
+               static_cast<unsigned long long>(round_), v.strong_edges.size(),
+               v.weak_edges.size());
+  rbc_.broadcast(round_, v.serialize());
+}
+
+Vertex DagBuilder::create_new_vertex(Round r) {
+  Vertex v;
+  v.round = r;
+  v.source = pid_;
+  if (!blocks_to_propose_.empty()) {
+    v.block = std::move(blocks_to_propose_.front());
+    blocks_to_propose_.pop_front();
+  } else {
+    DR_ASSERT(options_.auto_blocks);
+    v.block.assign(options_.auto_block_size, 0xAB);
+  }
+  v.strong_edges = dag_.round_sources(r - 1);  // Alg. 2 line 19
+  if (options_.weak_edges) set_weak_edges(v);
+  if (coin_provider_ && r % options_.rounds_per_wave == 1) {
+    const Wave w = (r - 1) / options_.rounds_per_wave;
+    if (w >= 1) {
+      v.coin_share = coin_provider_(w);
+      v.has_coin_share = true;
+    }
+  }
+  return v;
+}
+
+void DagBuilder::apply_gc_floor(Round floor) {
+  if (floor <= gc_floor_) return;
+  gc_floor_ = floor;
+  dag_.compact_below(floor);
+  // Buffered vertices below the floor are dropped lazily on the next pump;
+  // force one now so memory is released promptly.
+  if (started_) pump();
+}
+
+void DagBuilder::set_weak_edges(Vertex& v) const {
+  // Alg. 2 lines 27-31: walk rounds v.round-2 down to 1 and add a weak edge
+  // to every vertex not already reachable. Reachability is tracked with a
+  // bitset built from the chosen parents' ancestor closures.
+  if (v.round < 3) return;
+  Bitset covered;
+  auto covered_test = [&](VertexId id) {
+    return covered.test(static_cast<std::size_t>(id.round) * committee_.n +
+                        id.source);
+  };
+  // Seed with the strong parents' ancestor closures: the union is exactly
+  // the set reachable from v-to-be before any weak edges are added.
+  for (ProcessId p : v.strong_edges) {
+    dag_.merge_closure_into(VertexId{p, v.round - 1}, covered);
+  }
+  const Round scan_floor = std::max<Round>(1, gc_floor_);
+  for (Round r = v.round - 2; r >= scan_floor; --r) {
+    for (ProcessId p : dag_.round_sources(r)) {
+      const VertexId u{p, r};
+      if (covered_test(u)) continue;
+      v.weak_edges.push_back(u);
+      dag_.merge_closure_into(u, covered);
+    }
+  }
+}
+
+}  // namespace dr::dag

@@ -1,0 +1,116 @@
+// DAG construction — Algorithm 2. Consumes r_deliver events from a reliable
+// broadcast, gates vertices in a buffer until their causal history is
+// complete, advances rounds at 2f+1 vertices, and reliably broadcasts this
+// process's own vertex per round with strong + weak edges.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "rbc/rbc.hpp"
+
+namespace dr::dag {
+
+struct BuilderOptions {
+  /// Rounds per wave (the paper's 4; the ablation bench varies it).
+  Round rounds_per_wave = kRoundsPerWave;
+  /// If true, an empty blocksToPropose queue never stalls round advancement:
+  /// a synthetic block of `auto_block_size` bytes is proposed instead. This
+  /// realizes the paper's "each process atomically broadcasts infinitely
+  /// many blocks" assumption without an explicit client loop.
+  bool auto_blocks = false;
+  std::size_t auto_block_size = 0;
+  /// If false, no weak edges are emitted — an ablation that knocks out the
+  /// Validity property (DESIGN.md experiment ABL).
+  bool weak_edges = true;
+  /// Maximum buffered (not-yet-insertable) vertices per source. A Byzantine
+  /// process can reference never-delivered parents to park garbage in the
+  /// buffer forever; the quota bounds that to O(n * quota) memory. A correct
+  /// process can legitimately run ahead by the delivery skew, so this must
+  /// comfortably exceed the expected round lead (default: 128 rounds).
+  std::size_t buffer_quota_per_source = 128;
+};
+
+class DagBuilder {
+ public:
+  /// wave_ready(w) — the Alg. 2 line 12 signal into the ordering layer.
+  using WaveReadyFn = std::function<void(Wave)>;
+  /// Observer invoked after a vertex is added to the local DAG.
+  using VertexAddedFn = std::function<void(const Vertex&)>;
+  /// Piggybacked-coin hooks (footnote 1): provider returns this process's
+  /// share for wave w when its round-(4w+1) vertex is created; sink receives
+  /// shares found on delivered vertices.
+  using CoinShareProviderFn = std::function<std::uint64_t(Wave)>;
+  using CoinShareSinkFn = std::function<void(ProcessId, Wave, std::uint64_t)>;
+
+  DagBuilder(Committee committee, ProcessId pid, rbc::ReliableBroadcast& rbc,
+             BuilderOptions options = {});
+
+  void set_wave_ready(WaveReadyFn fn) { wave_ready_ = std::move(fn); }
+  void set_vertex_added(VertexAddedFn fn) { vertex_added_ = std::move(fn); }
+  void enable_coin_piggyback(CoinShareProviderFn provider, CoinShareSinkFn sink) {
+    coin_provider_ = std::move(provider);
+    coin_sink_ = std::move(sink);
+  }
+
+  /// blocksToPropose.enqueue(b) (Alg. 3 line 33 pushes through this).
+  void enqueue_block(Bytes block);
+  std::size_t blocks_pending() const { return blocks_to_propose_.size(); }
+
+  /// Starts the protocol: performs the initial advance out of round 0,
+  /// broadcasting this process's round-1 vertex. Call once after wiring.
+  void start();
+
+  const Dag& dag() const { return dag_; }
+  ProcessId pid() const { return pid_; }
+  Round current_round() const { return round_; }
+  std::size_t buffer_size() const { return buffer_.size(); }
+  /// Deliveries rejected because the sender exceeded its buffer quota.
+  std::uint64_t quota_rejections() const { return quota_rejections_; }
+  const BuilderOptions& options() const { return options_; }
+
+  /// Structural validation of a delivered vertex (Alg. 2 line 25 plus
+  /// hygiene). Exposed for tests and for Byzantine-input fuzzing.
+  bool validate(const Vertex& v) const;
+
+  /// Raises the garbage-collection floor (driven by the ordering layer
+  /// after delivery): rounds below `floor` are compacted in the DAG,
+  /// buffered vertices for them are dropped, and deliveries for them are
+  /// rejected. Monotonic; see Dag::compact_below for the semantics.
+  void apply_gc_floor(Round floor);
+  Round gc_floor() const { return gc_floor_; }
+
+ private:
+  void on_deliver(ProcessId source, Round r, Bytes payload);
+  /// Drains the buffer and advances rounds until quiescent (Alg. 2 loop).
+  void pump();
+  bool try_insert_buffered();
+  bool can_advance() const;
+  void advance_round();
+  Vertex create_new_vertex(Round r);
+  void set_weak_edges(Vertex& v) const;
+
+  Committee committee_;
+  ProcessId pid_;
+  rbc::ReliableBroadcast& rbc_;
+  BuilderOptions options_;
+  Dag dag_;
+  Round round_ = 0;
+  std::vector<Vertex> buffer_;
+  std::deque<Bytes> blocks_to_propose_;
+  WaveReadyFn wave_ready_;
+  VertexAddedFn vertex_added_;
+  CoinShareProviderFn coin_provider_;
+  CoinShareSinkFn coin_sink_;
+  bool started_ = false;
+  bool pumping_ = false;
+  Round gc_floor_ = 0;
+  std::vector<std::size_t> buffered_per_source_;
+  std::uint64_t quota_rejections_ = 0;
+};
+
+}  // namespace dr::dag

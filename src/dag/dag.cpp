@@ -1,0 +1,177 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dr::dag {
+
+Dag::Dag(Committee committee) : committee_(committee) {
+  DR_ASSERT_MSG(committee_.valid(), "Dag: committee must satisfy n > 3f");
+  rounds_.emplace_back(committee_.n);
+  // Hardcoded genesis: 2f+1 empty vertices from sources 0..2f (Alg. 1).
+  for (ProcessId p = 0; p < committee_.quorum(); ++p) {
+    Stored s;
+    s.vertex.round = 0;
+    s.vertex.source = p;
+    rounds_[0][p] = std::move(s);
+    ++vertex_count_;
+  }
+}
+
+const Dag::Stored* Dag::stored(VertexId id) const {
+  if (id.round >= rounds_.size() || id.source >= committee_.n) return nullptr;
+  const std::optional<Stored>& slot = rounds_[id.round][id.source];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+bool Dag::contains(VertexId id) const { return stored(id) != nullptr; }
+
+const Vertex* Dag::get(VertexId id) const {
+  const Stored* s = stored(id);
+  return s ? &s->vertex : nullptr;
+}
+
+std::uint32_t Dag::round_size(Round r) const {
+  if (r >= rounds_.size()) return 0;
+  std::uint32_t c = 0;
+  for (const auto& slot : rounds_[r]) c += slot.has_value() ? 1 : 0;
+  return c;
+}
+
+std::vector<ProcessId> Dag::round_sources(Round r) const {
+  std::vector<ProcessId> out;
+  if (r >= rounds_.size()) return out;
+  for (ProcessId p = 0; p < committee_.n; ++p) {
+    if (rounds_[r][p].has_value()) out.push_back(p);
+  }
+  return out;
+}
+
+void Dag::insert(Vertex v) {
+  DR_ASSERT_MSG(v.source < committee_.n, "vertex source out of range");
+  DR_ASSERT_MSG(v.round >= 1, "only genesis lives in round 0");
+  while (rounds_.size() <= v.round) rounds_.emplace_back(committee_.n);
+  DR_ASSERT_MSG(!rounds_[v.round][v.source].has_value(),
+                "duplicate vertex insert violates RBC Integrity");
+
+  Stored s;
+  // Complete the transitive closure from the (already complete) parents.
+  for (ProcessId p : v.strong_edges) {
+    const VertexId pid{p, v.round - 1};
+    const Stored* parent = stored(pid);
+    DR_ASSERT_MSG(parent != nullptr, "strong predecessor missing at insert");
+    s.ancestors.set(slot(pid));
+    s.ancestors.or_with(parent->ancestors);
+    s.strong_ancestors.set(slot(pid));
+    s.strong_ancestors.or_with(parent->strong_ancestors);
+  }
+  for (const VertexId& wid : v.weak_edges) {
+    const Stored* parent = stored(wid);
+    DR_ASSERT_MSG(parent != nullptr, "weak predecessor missing at insert");
+    s.ancestors.set(slot(wid));
+    s.ancestors.or_with(parent->ancestors);
+  }
+  s.vertex = std::move(v);
+  const VertexId id = s.vertex.id();
+  rounds_[id.round][id.source] = std::move(s);
+  ++vertex_count_;
+}
+
+bool Dag::path(VertexId from, VertexId to) const {
+  if (to.round < compacted_floor_) return false;  // compacted region
+  if (from == to) return contains(from);
+  const Stored* s = stored(from);
+  return s != nullptr && contains(to) && s->ancestors.test(slot(to));
+}
+
+bool Dag::strong_path(VertexId from, VertexId to) const {
+  if (to.round < compacted_floor_) return false;  // compacted region
+  if (from == to) return contains(from);
+  const Stored* s = stored(from);
+  return s != nullptr && contains(to) && s->strong_ancestors.test(slot(to));
+}
+
+void Dag::compact_below(Round floor) {
+  if (floor <= compacted_floor_) return;
+  for (Round r = compacted_floor_; r < floor && r < rounds_.size(); ++r) {
+    for (auto& slot_opt : rounds_[r]) {
+      if (!slot_opt.has_value()) continue;
+      Stored& s = *slot_opt;
+      Bytes{}.swap(s.vertex.block);
+      std::vector<ProcessId>{}.swap(s.vertex.strong_edges);
+      std::vector<VertexId>{}.swap(s.vertex.weak_edges);
+      s.ancestors = Bitset{};
+      s.strong_ancestors = Bitset{};
+    }
+  }
+  // Retained vertices no longer need reachability bits into the compacted
+  // region. Truncate conservatively at the word containing the floor slot.
+  const std::size_t word =
+      (static_cast<std::size_t>(floor) * committee_.n) / 64;
+  for (Round r = floor; r < rounds_.size(); ++r) {
+    for (auto& slot_opt : rounds_[r]) {
+      if (!slot_opt.has_value()) continue;
+      slot_opt->ancestors.truncate_below_word(word);
+      slot_opt->strong_ancestors.truncate_below_word(word);
+    }
+  }
+  compacted_floor_ = floor;
+}
+
+std::size_t Dag::allocated_bitset_words() const {
+  std::size_t words = 0;
+  for (const auto& round : rounds_) {
+    for (const auto& slot_opt : round) {
+      if (!slot_opt.has_value()) continue;
+      words += slot_opt->ancestors.allocated_words() +
+               slot_opt->strong_ancestors.allocated_words();
+    }
+  }
+  return words;
+}
+
+std::uint32_t Dag::strong_support_in_round(Round r, VertexId to) const {
+  if (r >= rounds_.size()) return 0;
+  std::uint32_t c = 0;
+  for (const auto& slot_opt : rounds_[r]) {
+    if (slot_opt.has_value() && slot_opt->strong_ancestors.test(slot(to))) ++c;
+  }
+  return c;
+}
+
+void Dag::merge_closure_into(VertexId id, Bitset& out) const {
+  const Stored* s = stored(id);
+  DR_ASSERT_MSG(s != nullptr, "merge_closure_into: vertex missing");
+  out.set(slot(id));
+  out.or_with(s->ancestors);
+}
+
+std::vector<VertexId> Dag::causal_history(
+    VertexId from, const std::function<bool(VertexId)>& skip) const {
+  std::vector<VertexId> out;
+  if (!contains(from) || skip(from)) return out;
+  std::vector<VertexId> stack{from};
+  // Visited tracking uses a local bitset keyed by the same slot scheme.
+  Bitset visited;
+  visited.set(slot(from));
+  while (!stack.empty()) {
+    const VertexId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    const Vertex& v = stored(id)->vertex;
+    auto consider = [&](VertexId next) {
+      if (visited.test(slot(next))) return;
+      visited.set(slot(next));
+      if (!contains(next) || skip(next)) return;
+      stack.push_back(next);
+    };
+    if (id.round >= 1) {
+      for (ProcessId p : v.strong_edges) consider(VertexId{p, id.round - 1});
+    }
+    for (const VertexId& wid : v.weak_edges) consider(wid);
+  }
+  return out;
+}
+
+}  // namespace dr::dag

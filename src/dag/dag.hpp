@@ -1,0 +1,101 @@
+// Local DAG view (the paper's DAG_i[]). Stores vertices by (round, source),
+// maintains per-vertex ancestor bitsets for O(1) path / strong_path queries
+// (Alg. 1 lines 1-4), and answers the causal-history traversals behind
+// order_vertices (Alg. 3 line 54).
+//
+// Invariant (Claim 1 by construction): a vertex is only inserted after all
+// vertices it references, so ancestor bitsets can be completed at insertion
+// time and never change afterwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dag/bitset.hpp"
+#include "dag/vertex.hpp"
+
+namespace dr::dag {
+
+class Dag {
+ public:
+  /// Builds the DAG with the hardcoded genesis round 0 of 2f+1 vertices
+  /// from sources 0..2f (Alg. 1 initialization).
+  explicit Dag(Committee committee);
+
+  const Committee& committee() const { return committee_; }
+
+  bool contains(VertexId id) const;
+  const Vertex* get(VertexId id) const;
+
+  /// Number of vertices known in round r.
+  std::uint32_t round_size(Round r) const;
+  /// Sources present in round r, ascending.
+  std::vector<ProcessId> round_sources(Round r) const;
+  /// Highest round with at least one vertex.
+  Round max_round() const { return rounds_.empty() ? 0 : rounds_.size() - 1; }
+  std::uint64_t vertex_count() const { return vertex_count_; }
+
+  /// Inserts v. Precondition: all strong/weak predecessors are present
+  /// (the DagBuilder's buffer gates on this, Alg. 2 line 7) and no vertex
+  /// with the same id exists (reliable broadcast Integrity).
+  void insert(Vertex v);
+
+  /// path(v, u): directed path using strong and weak edges (Alg. 1 line 1).
+  bool path(VertexId from, VertexId to) const;
+  /// strong_path(v, u): path using only strong edges (Alg. 1 line 3).
+  bool strong_path(VertexId from, VertexId to) const;
+
+  /// Number of vertices in round r with a strong path to `to` — the
+  /// commit-rule quorum count (Alg. 3 line 36).
+  std::uint32_t strong_support_in_round(Round r, VertexId to) const;
+
+  /// Garbage collection (an extension; the paper itself never prunes, its
+  /// production descendants — Narwhal/Bullshark — do exactly this): frees
+  /// the blocks, edge lists, and ancestor bitsets of every vertex in rounds
+  /// < floor, and truncates retained vertices' bitsets below the floor.
+  /// Contract: the caller (the ordering layer) compacts only rounds whose
+  /// delivered vertices it no longer needs; afterwards path/strong_path
+  /// with a target below the floor return false, and causal-history
+  /// traversals must prune at delivered vertices (they already do).
+  void compact_below(Round floor);
+  Round compacted_floor() const { return compacted_floor_; }
+  /// 64-bit words currently allocated by all ancestor bitsets — the memory
+  /// introspection hook used by the GC tests and benches.
+  std::size_t allocated_bitset_words() const;
+
+  /// ORs {id} ∪ ancestors(id) into `out`, using the slot scheme
+  /// slot = round * n + source. Used by weak-edge construction to track the
+  /// reachable set of a vertex under construction.
+  void merge_closure_into(VertexId id, Bitset& out) const;
+
+  /// All vertices u with path(from, u) (including `from` itself) for which
+  /// skip(u) is false, pruned at skipped vertices: the traversal does not
+  /// descend below a skipped vertex. Sound for delivery because the
+  /// delivered set is causally closed (ancestors of delivered vertices are
+  /// delivered). Result is unordered; callers sort deterministically.
+  std::vector<VertexId> causal_history(
+      VertexId from, const std::function<bool(VertexId)>& skip) const;
+
+ private:
+  struct Stored {
+    Vertex vertex;
+    Bitset ancestors;         ///< all-edge ancestors (strong + weak), incl. parents
+    Bitset strong_ancestors;  ///< strong-edge-only ancestors
+  };
+
+  std::size_t slot(VertexId id) const {
+    return static_cast<std::size_t>(id.round) * committee_.n + id.source;
+  }
+  const Stored* stored(VertexId id) const;
+
+  Committee committee_;
+  /// rounds_[r][source] — the per-round vertex slots of DAG_i[].
+  std::vector<std::vector<std::optional<Stored>>> rounds_;
+  std::uint64_t vertex_count_ = 0;
+  Round compacted_floor_ = 0;
+};
+
+}  // namespace dr::dag

@@ -1,0 +1,52 @@
+#include "dag/vertex.hpp"
+
+namespace dr::dag {
+
+Bytes Vertex::serialize() const {
+  ByteWriter w(wire_size());
+  w.blob(block);
+  w.u32(static_cast<std::uint32_t>(strong_edges.size()));
+  for (ProcessId p : strong_edges) w.u32(p);
+  w.u32(static_cast<std::uint32_t>(weak_edges.size()));
+  for (const VertexId& id : weak_edges) {
+    w.u32(id.source);
+    w.u64(id.round);
+  }
+  w.u8(has_coin_share ? 1 : 0);
+  if (has_coin_share) w.u64(coin_share);
+  return std::move(w).take();
+}
+
+Expected<Vertex> Vertex::deserialize(BytesView data) {
+  ByteReader in(data);
+  Vertex v;
+  v.block = in.blob();
+  const std::uint32_t n_strong = in.u32();
+  if (!in.ok() || n_strong > 4096) {
+    return Expected<Vertex>::failure("bad strong edge count");
+  }
+  v.strong_edges.reserve(n_strong);
+  for (std::uint32_t i = 0; i < n_strong; ++i) v.strong_edges.push_back(in.u32());
+  const std::uint32_t n_weak = in.u32();
+  if (!in.ok() || n_weak > 1u << 20) {
+    return Expected<Vertex>::failure("bad weak edge count");
+  }
+  v.weak_edges.reserve(n_weak);
+  for (std::uint32_t i = 0; i < n_weak; ++i) {
+    VertexId id;
+    id.source = in.u32();
+    id.round = in.u64();
+    v.weak_edges.push_back(id);
+  }
+  v.has_coin_share = in.u8() != 0;
+  if (v.has_coin_share) v.coin_share = in.u64();
+  if (!in.done()) return Expected<Vertex>::failure("trailing bytes in vertex");
+  return v;
+}
+
+std::size_t Vertex::wire_size() const {
+  return 4 + block.size() + 4 + 4 * strong_edges.size() + 4 +
+         12 * weak_edges.size() + 1 + (has_coin_share ? 8 : 0);
+}
+
+}  // namespace dr::dag

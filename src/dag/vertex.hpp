@@ -1,0 +1,59 @@
+// Vertex struct of Algorithm 1. A vertex is identified by (source, round) —
+// reliable broadcast Integrity guarantees at most one vertex per pair, so
+// edges reference vertices by id rather than by hash.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/expected.hpp"
+#include "common/types.hpp"
+
+namespace dr::dag {
+
+struct VertexId {
+  ProcessId source = kInvalidProcess;
+  Round round = 0;
+
+  bool operator==(const VertexId&) const = default;
+  bool operator<(const VertexId& o) const {
+    return round != o.round ? round < o.round : source < o.source;
+  }
+};
+
+struct VertexIdHash {
+  std::size_t operator()(const VertexId& id) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.source) << 40) ^ id.round);
+  }
+};
+
+struct Vertex {
+  Round round = 0;          ///< set from r_deliver metadata, not the payload
+  ProcessId source = 0;     ///< set from r_deliver metadata, not the payload
+  Bytes block;              ///< block of transactions from the BAB layer
+  /// Strong edges: sources of referenced vertices in round-1 (the round is
+  /// implicit, which is also how the paper compresses references).
+  std::vector<ProcessId> strong_edges;
+  /// Weak edges: ids of referenced vertices in rounds < round-1.
+  std::vector<VertexId> weak_edges;
+  /// Optional piggybacked threshold-coin share (footnote 1 of the paper):
+  /// a vertex opening round 4w+1 may carry its sender's share for wave w.
+  std::uint64_t coin_share = 0;
+  bool has_coin_share = false;
+
+  VertexId id() const { return VertexId{source, round}; }
+
+  /// Serialized form excludes source/round: those travel as reliable
+  /// broadcast metadata and are stamped on delivery (Alg. 2 lines 23-24),
+  /// so a Byzantine sender cannot claim someone else's slot.
+  Bytes serialize() const;
+  static Expected<Vertex> deserialize(BytesView data);
+
+  /// Wire size in bytes of the serialized vertex (for accounting math).
+  std::size_t wire_size() const;
+};
+
+}  // namespace dr::dag

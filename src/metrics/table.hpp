@@ -1,0 +1,30 @@
+// Fixed-width console table writer used by every bench harness to print the
+// rows/series of the paper's tables and figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dr::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; cells are stringified by the caller.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing and a header rule.
+  std::string render() const;
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_u64(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dr::metrics

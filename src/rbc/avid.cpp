@@ -1,0 +1,179 @@
+#include "rbc/avid.hpp"
+
+#include "common/assert.hpp"
+
+namespace dr::rbc {
+namespace {
+
+/// Wire format shared by DISPERSE and ECHO:
+/// type u8 | source u32 | round u64 | root 32B | frag_index u32 |
+/// frag blob | proof blob
+struct FragmentMsg {
+  std::uint8_t type = 0;
+  ProcessId source = 0;
+  Round round = 0;
+  dr::crypto::Digest root{};
+  std::uint32_t frag_index = 0;
+  Bytes fragment;
+  dr::crypto::MerkleProof proof;
+};
+
+bool parse_fragment_msg(BytesView data, FragmentMsg& out) {
+  ByteReader in(data);
+  out.type = in.u8();
+  out.source = in.u32();
+  out.round = in.u64();
+  Bytes root = in.raw(dr::crypto::kDigestSize);
+  out.frag_index = in.u32();
+  out.fragment = in.blob();
+  if (!in.ok()) return false;
+  std::copy(root.begin(), root.end(), out.root.begin());
+  if (!dr::crypto::MerkleProof::deserialize(in, out.proof)) return false;
+  return in.done();
+}
+
+}  // namespace
+
+AvidRbc::AvidRbc(sim::Network& net, ProcessId pid)
+    : net_(net),
+      pid_(pid),
+      rs_(net.committee().small_quorum(),            // k = f+1 data shards
+          net.n() - net.committee().small_quorum())  // m = n-f-1 parity
+{
+  net_.subscribe(pid_, sim::Channel::kAvid,
+                 [this](ProcessId from, BytesView data) { on_message(from, data); });
+}
+
+void AvidRbc::broadcast(Round r, Bytes payload) {
+  const std::vector<Bytes> fragments = rs_.encode(payload);
+  DR_ASSERT(fragments.size() == net_.n());
+  const crypto::MerkleTree tree(fragments);
+  for (ProcessId to = 0; to < net_.n(); ++to) {
+    ByteWriter w(fragments[to].size() + 128);
+    w.u8(kDisperse);
+    w.u32(pid_);
+    w.u64(r);
+    w.raw(BytesView{tree.root().data(), tree.root().size()});
+    w.u32(to);  // fragment index == recipient id
+    w.blob(fragments[to]);
+    const Bytes proof = tree.prove(to).serialize();
+    w.raw(proof);
+    net_.send(pid_, to, sim::Channel::kAvid, std::move(w).take());
+  }
+}
+
+void AvidRbc::on_message(ProcessId from, BytesView data) {
+  if (data.empty()) return;
+  const std::uint8_t type = data[0];
+
+  if (type == kReady) {
+    ByteReader in(data);
+    in.u8();
+    const ProcessId source = in.u32();
+    const Round round = in.u64();
+    Bytes root_raw = in.raw(crypto::kDigestSize);
+    if (!in.done() || source >= net_.n()) return;
+    crypto::Digest root{};
+    std::copy(root_raw.begin(), root_raw.end(), root.begin());
+    const InstanceKey key{source, round};
+    Instance& inst = instances_[key];
+    if (inst.delivered) return;
+    inst.by_root[root].ready_senders.insert(from);
+    maybe_progress(key, root);
+    return;
+  }
+
+  FragmentMsg msg;
+  if (!parse_fragment_msg(data, msg)) return;
+  if (msg.source >= net_.n() || msg.frag_index >= net_.n()) return;
+  if (msg.type == kDisperse && from != msg.source) return;  // forged sender
+  // An echo must carry the echoer's own fragment; anything else inflates a
+  // single Byzantine process into many fragment slots.
+  if (msg.type == kEcho && msg.frag_index != from) return;
+  if (msg.type == kDisperse && msg.frag_index != pid_) return;
+  if (!crypto::MerkleTree::verify(msg.root, msg.fragment, msg.proof)) return;
+  if (msg.proof.leaf_count != net_.n()) return;
+
+  const InstanceKey key{msg.source, msg.round};
+  Instance& inst = instances_[key];
+  if (inst.delivered) return;
+  PerRoot& pr = inst.by_root[msg.root];
+
+  switch (msg.type) {
+    case kDisperse: {
+      pr.fragments.emplace(msg.frag_index, msg.fragment);
+      if (!inst.echoed) {
+        inst.echoed = true;
+        ByteWriter w(msg.fragment.size() + 128);
+        w.u8(kEcho);
+        w.u32(msg.source);
+        w.u64(msg.round);
+        w.raw(BytesView{msg.root.data(), msg.root.size()});
+        w.u32(pid_);
+        w.blob(msg.fragment);
+        w.raw(msg.proof.serialize());
+        net_.broadcast(pid_, sim::Channel::kAvid, std::move(w).take());
+      }
+      break;
+    }
+    case kEcho: {
+      pr.fragments.emplace(msg.frag_index, msg.fragment);
+      pr.echo_senders.insert(from);
+      break;
+    }
+    default:
+      return;
+  }
+  maybe_progress(key, msg.root);
+}
+
+bool AvidRbc::ensure_payload(PerRoot& pr, const crypto::Digest& root) {
+  if (pr.encoding_checked) return pr.encoding_ok;
+  if (pr.fragments.size() < rs_.data_shards()) return false;
+  pr.encoding_checked = true;
+  pr.encoding_ok = false;
+
+  std::vector<std::optional<Bytes>> shards(net_.n());
+  for (const auto& [idx, frag] : pr.fragments) shards[idx] = frag;
+  auto decoded = rs_.decode(shards);
+  if (!decoded) return false;
+
+  // Re-encode and check the full fragment vector against the Merkle root:
+  // this catches a Byzantine sender that dispersed fragments of *different*
+  // codewords under one root.
+  const std::vector<Bytes> full = rs_.encode(decoded.value());
+  const crypto::MerkleTree tree(full);
+  if (tree.root() != root) return false;
+
+  pr.reconstructed = std::move(decoded).value();
+  pr.encoding_ok = true;
+  return true;
+}
+
+void AvidRbc::maybe_progress(const InstanceKey& key, const crypto::Digest& root) {
+  Instance& inst = instances_[key];
+  PerRoot& pr = inst.by_root[root];
+  const std::uint32_t quorum = net_.committee().quorum();
+  const std::uint32_t small = net_.committee().small_quorum();
+
+  const bool echo_quorum = pr.echo_senders.size() >= quorum;
+  const bool ready_amplify = pr.ready_senders.size() >= small;
+  if (!inst.readied && (ready_amplify || (echo_quorum && ensure_payload(pr, root)))) {
+    inst.readied = true;
+    ByteWriter w(64);
+    w.u8(kReady);
+    w.u32(key.source);
+    w.u64(key.round);
+    w.raw(BytesView{root.data(), root.size()});
+    net_.broadcast(pid_, sim::Channel::kAvid, std::move(w).take());
+  }
+  if (pr.ready_senders.size() >= quorum && !inst.delivered &&
+      ensure_payload(pr, root)) {
+    inst.delivered = true;
+    Bytes payload = std::move(*pr.reconstructed);
+    inst.by_root.clear();
+    if (deliver_) deliver_(key.source, key.round, payload);
+  }
+}
+
+}  // namespace dr::rbc

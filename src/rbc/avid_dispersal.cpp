@@ -1,0 +1,158 @@
+#include "rbc/avid_dispersal.hpp"
+
+#include "common/assert.hpp"
+
+namespace dr::rbc {
+
+AvidDispersal::AvidDispersal(sim::Network& net, ProcessId pid,
+                             sim::Channel channel)
+    : net_(net),
+      pid_(pid),
+      channel_(channel),
+      rs_(net.committee().small_quorum(),
+          net.n() - net.committee().small_quorum()) {
+  net_.subscribe(pid_, channel_, [this](ProcessId from, BytesView data) {
+    on_message(from, data);
+  });
+}
+
+crypto::Digest AvidDispersal::disperse(const Bytes& value) {
+  const std::vector<Bytes> fragments = rs_.encode(value);
+  const crypto::MerkleTree tree(fragments);
+  const crypto::Digest root = tree.root();
+  RootState& rs = roots_[root];
+  rs.value = value;  // the disperser trivially holds the full value
+  for (ProcessId to = 0; to < net_.n(); ++to) {
+    ByteWriter w(fragments[to].size() + 128);
+    w.u8(kDisperse);
+    w.raw(BytesView{root.data(), root.size()});
+    w.u32(to);
+    w.blob(fragments[to]);
+    w.raw(tree.prove(to).serialize());
+    net_.send(pid_, to, channel_, std::move(w).take());
+  }
+  return root;
+}
+
+bool AvidDispersal::is_available(const crypto::Digest& root) const {
+  auto it = roots_.find(root);
+  return it != roots_.end() &&
+         it->second.stored_acks.size() >= net_.committee().quorum();
+}
+
+void AvidDispersal::retrieve(const crypto::Digest& root, RetrievedFn fn) {
+  RootState& rs = roots_[root];
+  if (rs.value.has_value()) {
+    fn(root, *rs.value);
+    return;
+  }
+  rs.retrieve_callbacks.push_back(std::move(fn));
+  if (rs.retrieving) return;
+  rs.retrieving = true;
+  ByteWriter w(40);
+  w.u8(kRetrieve);
+  w.raw(BytesView{root.data(), root.size()});
+  net_.broadcast(pid_, channel_, std::move(w).take());
+}
+
+void AvidDispersal::send_fragment_to(ProcessId to, const crypto::Digest& root,
+                                     RootState& rs) {
+  if (!rs.my_fragment.has_value()) return;
+  ByteWriter w(rs.my_fragment->size() + 128);
+  w.u8(kFragment);
+  w.raw(BytesView{root.data(), root.size()});
+  w.u32(pid_);
+  w.blob(*rs.my_fragment);
+  w.raw(rs.my_proof->serialize());
+  net_.send(pid_, to, channel_, std::move(w).take());
+}
+
+void AvidDispersal::on_message(ProcessId from, BytesView data) {
+  ByteReader in(data);
+  const std::uint8_t type = in.u8();
+  Bytes root_raw = in.raw(crypto::kDigestSize);
+  if (!in.ok()) return;
+  crypto::Digest root{};
+  std::copy(root_raw.begin(), root_raw.end(), root.begin());
+
+  switch (type) {
+    case kDisperse: {
+      const std::uint32_t index = in.u32();
+      Bytes fragment = in.blob();
+      crypto::MerkleProof proof;
+      if (!in.ok() || index != pid_) return;
+      if (!crypto::MerkleProof::deserialize(in, proof) || !in.done()) return;
+      if (proof.leaf_count != net_.n()) return;
+      if (!crypto::MerkleTree::verify(root, fragment, proof)) return;
+      RootState& rs = roots_[root];
+      if (rs.my_fragment.has_value()) return;  // duplicate disperse
+      rs.my_fragment = std::move(fragment);
+      rs.my_proof = std::move(proof);
+      ByteWriter w(40);
+      w.u8(kStored);
+      w.raw(BytesView{root.data(), root.size()});
+      net_.broadcast(pid_, channel_, std::move(w).take());
+      // Serve retrievals that raced ahead of our fragment.
+      for (ProcessId requester : rs.pending_requesters) {
+        send_fragment_to(requester, root, rs);
+      }
+      rs.pending_requesters.clear();
+      break;
+    }
+    case kStored: {
+      if (!in.done()) return;
+      RootState& rs = roots_[root];
+      rs.stored_acks.insert(from);
+      if (!rs.available_fired &&
+          rs.stored_acks.size() >= net_.committee().quorum()) {
+        rs.available_fired = true;
+        if (available_) available_(root);
+      }
+      break;
+    }
+    case kRetrieve: {
+      if (!in.done()) return;
+      RootState& rs = roots_[root];
+      if (rs.my_fragment.has_value()) {
+        send_fragment_to(from, root, rs);
+      } else {
+        rs.pending_requesters.insert(from);
+      }
+      break;
+    }
+    case kFragment: {
+      const std::uint32_t index = in.u32();
+      Bytes fragment = in.blob();
+      crypto::MerkleProof proof;
+      if (!in.ok() || index >= net_.n()) return;
+      if (!crypto::MerkleProof::deserialize(in, proof) || !in.done()) return;
+      if (proof.leaf_count != net_.n()) return;
+      if (!crypto::MerkleTree::verify(root, fragment, proof)) return;
+      RootState& rs = roots_[root];
+      if (!rs.retrieving || rs.value.has_value()) return;
+      rs.collected.emplace(index, std::move(fragment));
+      try_reconstruct(root, rs);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void AvidDispersal::try_reconstruct(const crypto::Digest& root, RootState& rs) {
+  if (rs.collected.size() < rs_.data_shards()) return;
+  std::vector<std::optional<Bytes>> shards(net_.n());
+  for (const auto& [idx, frag] : rs.collected) shards[idx] = frag;
+  auto decoded = rs_.decode(shards);
+  if (!decoded) return;
+  // Defend against an inconsistent disperser: the re-encoded fragment
+  // vector must reproduce the commitment root.
+  const std::vector<Bytes> full = rs_.encode(decoded.value());
+  if (crypto::MerkleTree(full).root() != root) return;
+  rs.value = std::move(decoded).value();
+  auto callbacks = std::move(rs.retrieve_callbacks);
+  rs.retrieve_callbacks.clear();
+  for (auto& cb : callbacks) cb(root, *rs.value);
+}
+
+}  // namespace dr::rbc

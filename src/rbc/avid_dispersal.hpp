@@ -1,0 +1,84 @@
+// Asynchronous Verifiable Information Dispersal, Cachin–Tessaro [14],
+// dispersal/retrieval form (as used by Dumbo-MVBA): dispersing |v| bytes
+// costs O(|v| + n log n) bits (fragments travel once, acknowledgements are
+// digest-sized), and each retrieval costs O(|v| + n log n). This is the
+// primitive that lets Dumbo — and DAG-Rider's AVID instantiation — reach
+// amortized-linear communication.
+//
+//   disperse(tag, v): RS-encode v into n fragments (k = f+1), Merkle-commit,
+//                     send DISPERSE(root, frag_i, proof_i) to each p_i.
+//   on DISPERSE:      verify proof, store fragment, broadcast STORED(root).
+//   availability:     a root is *available* once 2f+1 STORED(root) are seen
+//                     (>= f+1 correct processes hold verified fragments).
+//   retrieve(root):   broadcast RETRIEVE(root); holders answer FRAG(root,
+//                     index, fragment, proof); reconstruct from any f+1.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/merkle.hpp"
+#include "crypto/reed_solomon.hpp"
+#include "crypto/sha256.hpp"
+#include "rbc/rbc.hpp"
+
+namespace dr::rbc {
+
+class AvidDispersal {
+ public:
+  /// Fired (once per root) when 2f+1 STORED acknowledgements are observed.
+  using AvailableFn = std::function<void(const crypto::Digest& root)>;
+  /// Fired when a requested root has been reconstructed and its re-encoding
+  /// verified against the Merkle root.
+  using RetrievedFn = std::function<void(const crypto::Digest& root, Bytes value)>;
+
+  AvidDispersal(sim::Network& net, ProcessId pid,
+                sim::Channel channel = sim::Channel::kDumbo);
+
+  void set_available(AvailableFn fn) { available_ = std::move(fn); }
+
+  /// Disperses `value`; returns its commitment root immediately.
+  crypto::Digest disperse(const Bytes& value);
+
+  /// Requests reconstruction of `root` from fragment holders.
+  void retrieve(const crypto::Digest& root, RetrievedFn fn);
+
+  bool is_available(const crypto::Digest& root) const;
+
+ private:
+  enum MsgType : std::uint8_t {
+    kDisperse = 1,
+    kStored = 2,
+    kRetrieve = 3,
+    kFragment = 4,
+  };
+
+  struct RootState {
+    std::optional<Bytes> my_fragment;       // fragment stored at this process
+    std::optional<crypto::MerkleProof> my_proof;
+    std::unordered_set<ProcessId> stored_acks;
+    bool available_fired = false;
+    std::unordered_set<ProcessId> pending_requesters;
+    // Retrieval (as requester):
+    bool retrieving = false;
+    std::map<std::uint32_t, Bytes> collected;
+    std::vector<RetrievedFn> retrieve_callbacks;
+    std::optional<Bytes> value;  // reconstructed (or locally dispersed)
+  };
+
+  void on_message(ProcessId from, BytesView data);
+  void send_fragment_to(ProcessId to, const crypto::Digest& root, RootState& rs);
+  void try_reconstruct(const crypto::Digest& root, RootState& rs);
+
+  sim::Network& net_;
+  ProcessId pid_;
+  sim::Channel channel_;
+  AvailableFn available_;
+  crypto::ReedSolomon rs_;
+  std::map<crypto::Digest, RootState> roots_;
+};
+
+}  // namespace dr::rbc

@@ -1,0 +1,98 @@
+#include "rbc/bracha.hpp"
+
+namespace dr::rbc {
+
+BrachaRbc::BrachaRbc(sim::Network& net, ProcessId pid) : net_(net), pid_(pid) {
+  net_.subscribe(pid_, sim::Channel::kBracha,
+                 [this](ProcessId from, BytesView data) { on_message(from, data); });
+}
+
+Bytes BrachaRbc::encode(MsgType type, ProcessId source, Round r,
+                        BytesView payload) const {
+  ByteWriter w(payload.size() + 20);
+  w.u8(type);
+  w.u32(source);
+  w.u64(r);
+  w.blob(payload);
+  return std::move(w).take();
+}
+
+void BrachaRbc::broadcast(Round r, Bytes payload) {
+  net_.broadcast(pid_, sim::Channel::kBracha, encode(kSend, pid_, r, payload));
+}
+
+void BrachaRbc::on_message(ProcessId from, BytesView data) {
+  ByteReader in(data);
+  const auto type = static_cast<MsgType>(in.u8());
+  const ProcessId source = in.u32();
+  const Round round = in.u64();
+  Bytes payload = in.blob();
+  if (!in.done() || source >= net_.n()) return;  // malformed
+  // SEND must come from its claimed source; the network authenticates links,
+  // so a Byzantine process cannot forge someone else's broadcast.
+  if (type == kSend && from != source) return;
+
+  const InstanceKey key{source, round};
+  Instance& inst = instances_[key];
+  if (inst.delivered) return;
+  const crypto::Digest digest = crypto::sha256(payload);
+  PerPayload& pp = inst.by_digest[digest];
+
+  switch (type) {
+    case kSend: {
+      if (!pp.have_payload) {
+        pp.payload = std::move(payload);
+        pp.have_payload = true;
+      }
+      if (!inst.echoed) {
+        inst.echoed = true;
+        net_.broadcast(pid_, sim::Channel::kBracha,
+                       encode(kEcho, source, round, pp.payload));
+      }
+      break;
+    }
+    case kEcho: {
+      if (!pp.have_payload) {
+        pp.payload = std::move(payload);
+        pp.have_payload = true;
+      }
+      pp.echoes.insert(from);
+      break;
+    }
+    case kReady: {
+      if (!pp.have_payload) {
+        pp.payload = std::move(payload);
+        pp.have_payload = true;
+      }
+      pp.readies.insert(from);
+      break;
+    }
+    default:
+      return;
+  }
+  maybe_progress(key, digest);
+}
+
+void BrachaRbc::maybe_progress(const InstanceKey& key, const crypto::Digest& digest) {
+  Instance& inst = instances_[key];
+  PerPayload& pp = inst.by_digest[digest];
+  const std::uint32_t quorum = net_.committee().quorum();
+  const std::uint32_t small = net_.committee().small_quorum();
+
+  const bool ready_trigger =
+      pp.echoes.size() >= quorum || pp.readies.size() >= small;
+  if (ready_trigger && !inst.readied && pp.have_payload) {
+    inst.readied = true;
+    net_.broadcast(pid_, sim::Channel::kBracha,
+                   encode(kReady, key.source, key.round, pp.payload));
+  }
+  if (pp.readies.size() >= quorum && pp.have_payload && !inst.delivered) {
+    inst.delivered = true;
+    if (deliver_) deliver_(key.source, key.round, pp.payload);
+    // Keep the instance so late messages are ignored (Integrity), but free
+    // the bulky per-payload state.
+    inst.by_digest.clear();
+  }
+}
+
+}  // namespace dr::rbc

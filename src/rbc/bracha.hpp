@@ -1,0 +1,64 @@
+// Classic Bracha reliable broadcast [11]. Per instance (source, round):
+//   sender:            SEND(m) to all
+//   on SEND:           ECHO(m) to all                    (once)
+//   on 2f+1 ECHO(m):   READY(m) to all                   (once)
+//   on  f+1 READY(m):  READY(m) to all                   (once, amplification)
+//   on 2f+1 READY(m):  r_deliver(m)
+// Echoes and readies are counted per payload digest, so an equivocating
+// sender splits its quorum and no conflicting deliveries can occur.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
+#include "rbc/rbc.hpp"
+
+namespace dr::rbc {
+
+class BrachaRbc final : public ReliableBroadcast {
+ public:
+  BrachaRbc(sim::Network& net, ProcessId pid);
+
+  void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
+  void broadcast(Round r, Bytes payload) override;
+
+ private:
+  enum MsgType : std::uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
+
+  /// Key of one broadcast instance.
+  struct InstanceKey {
+    ProcessId source;
+    Round round;
+    bool operator<(const InstanceKey& o) const {
+      return source != o.source ? source < o.source : round < o.round;
+    }
+  };
+
+  struct PerPayload {
+    std::unordered_set<ProcessId> echoes;
+    std::unordered_set<ProcessId> readies;
+    Bytes payload;  // first full copy seen (from SEND or ECHO)
+    bool have_payload = false;
+  };
+
+  struct Instance {
+    std::map<crypto::Digest, PerPayload> by_digest;
+    bool echoed = false;
+    bool readied = false;
+    bool delivered = false;
+  };
+
+  void on_message(ProcessId from, BytesView data);
+  void maybe_progress(const InstanceKey& key, const crypto::Digest& digest);
+  Bytes encode(MsgType type, ProcessId source, Round r, BytesView payload) const;
+
+  sim::Network& net_;
+  ProcessId pid_;
+  DeliverFn deliver_;
+  std::map<InstanceKey, Instance> instances_;
+};
+
+}  // namespace dr::rbc

@@ -1,0 +1,154 @@
+#include "rbc/gossip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dr::rbc {
+
+std::vector<ProcessId> GossipRbc::sample_of(std::uint64_t system_seed,
+                                            std::uint32_t n, ProcessId owner,
+                                            std::uint32_t size, const char* tag) {
+  // Distinct-element sample via seeded partial Fisher-Yates.
+  size = std::min(size, n);
+  Xoshiro256 rng(system_seed ^ crypto::digest_prefix_u64(crypto::sha256_tagged(
+                                   tag, {BytesView{reinterpret_cast<const std::uint8_t*>(&owner),
+                                                   sizeof(owner)}})));
+  std::vector<ProcessId> ids(n);
+  for (std::uint32_t i = 0; i < n; ++i) ids[i] = i;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const std::uint32_t j = i + static_cast<std::uint32_t>(rng.below(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(size);
+  return ids;
+}
+
+GossipRbc::GossipRbc(sim::Network& net, ProcessId pid, std::uint64_t system_seed,
+                     GossipParams params)
+    : net_(net), pid_(pid) {
+  const std::uint32_t n = net.n();
+  const double ln_n = std::log(std::max<std::uint32_t>(n, 2));
+  fanout_ = params.gossip_fanout != 0
+                ? params.gossip_fanout
+                : static_cast<std::uint32_t>(std::ceil(2.0 * ln_n)) + 2;
+  sample_ = params.echo_sample != 0
+                ? params.echo_sample
+                : static_cast<std::uint32_t>(std::ceil(4.0 * ln_n)) + 4;
+  fanout_ = std::min(fanout_, n);
+  sample_ = std::min(sample_, n);
+  echo_needed_ = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::ceil(params.echo_threshold * sample_)));
+
+  gossip_targets_ = sample_of(system_seed, n, pid, fanout_, "gossip/murmur");
+  echo_sample_ = sample_of(system_seed, n, pid, sample_, "gossip/sieve");
+  // Public-seed samples let us invert the relation locally: q must echo to
+  // every p whose echo sample contains q.
+  for (ProcessId p = 0; p < n; ++p) {
+    const std::vector<ProcessId> ep =
+        sample_of(system_seed, n, p, sample_, "gossip/sieve");
+    if (std::find(ep.begin(), ep.end(), pid) != ep.end()) {
+      echo_subscribers_.push_back(p);
+    }
+  }
+
+  net_.subscribe(pid_, sim::Channel::kGossip,
+                 [this](ProcessId from, BytesView data) { on_message(from, data); });
+}
+
+void GossipRbc::broadcast(Round r, Bytes payload) {
+  ByteWriter w(payload.size() + 20);
+  w.u8(kGossip);
+  w.u32(pid_);
+  w.u64(r);
+  w.blob(payload);
+  const Bytes msg = std::move(w).take();
+  // The sender seeds dissemination through its own gossip sample and also
+  // processes the payload locally (self-delivery path).
+  for (ProcessId to : gossip_targets_) {
+    net_.send(pid_, to, sim::Channel::kGossip, msg);
+  }
+  const InstanceKey key{pid_, r};
+  Instance& inst = instances_[key];
+  handle_payload(key, inst, std::move(payload));
+}
+
+void GossipRbc::on_message(ProcessId from, BytesView data) {
+  ByteReader in(data);
+  const auto type = static_cast<MsgType>(in.u8());
+
+  if (type == kGossip) {
+    const ProcessId source = in.u32();
+    const Round round = in.u64();
+    Bytes payload = in.blob();
+    if (!in.done() || source >= net_.n()) return;
+    const InstanceKey key{source, round};
+    Instance& inst = instances_[key];
+    if (inst.have_payload) return;  // already seen; stop the rumor here
+    // Forward before consuming: rumor spreading.
+    if (!inst.forwarded) {
+      inst.forwarded = true;
+      ByteWriter w(payload.size() + 20);
+      w.u8(kGossip);
+      w.u32(source);
+      w.u64(round);
+      w.blob(payload);
+      const Bytes msg = std::move(w).take();
+      for (ProcessId to : gossip_targets_) {
+        if (to != from) net_.send(pid_, to, sim::Channel::kGossip, msg);
+      }
+    }
+    handle_payload(key, inst, std::move(payload));
+    return;
+  }
+
+  if (type == kEcho) {
+    const ProcessId source = in.u32();
+    const Round round = in.u64();
+    Bytes digest_raw = in.raw(crypto::kDigestSize);
+    if (!in.done() || source >= net_.n()) return;
+    crypto::Digest digest{};
+    std::copy(digest_raw.begin(), digest_raw.end(), digest.begin());
+    const InstanceKey key{source, round};
+    Instance& inst = instances_[key];
+    // Count only echoes from my own echo sample; others carry no evidence.
+    if (std::find(echo_sample_.begin(), echo_sample_.end(), from) ==
+        echo_sample_.end()) {
+      return;
+    }
+    inst.echoes[digest].insert(from);
+    maybe_deliver(key, inst);
+  }
+}
+
+void GossipRbc::handle_payload(const InstanceKey& key, Instance& inst,
+                               Bytes payload) {
+  if (inst.have_payload) return;
+  inst.have_payload = true;
+  inst.payload_digest = crypto::sha256(payload);
+  inst.payload = std::move(payload);
+  if (!inst.echoed) {
+    inst.echoed = true;
+    ByteWriter w(64);
+    w.u8(kEcho);
+    w.u32(key.source);
+    w.u64(key.round);
+    w.raw(BytesView{inst.payload_digest.data(), inst.payload_digest.size()});
+    const Bytes msg = std::move(w).take();
+    for (ProcessId to : echo_subscribers_) {
+      net_.send(pid_, to, sim::Channel::kGossip, msg);
+    }
+  }
+  maybe_deliver(key, inst);
+}
+
+void GossipRbc::maybe_deliver(const InstanceKey& key, Instance& inst) {
+  if (inst.delivered || !inst.have_payload) return;
+  auto it = inst.echoes.find(inst.payload_digest);
+  if (it == inst.echoes.end() || it->second.size() < echo_needed_) return;
+  inst.delivered = true;
+  if (deliver_) deliver_(key.source, key.round, inst.payload);
+}
+
+}  // namespace dr::rbc

@@ -1,0 +1,29 @@
+#include "rbc/oracle.hpp"
+
+namespace dr::rbc {
+
+OracleRbc::OracleRbc(sim::Network& net, ProcessId pid) : net_(net), pid_(pid) {
+  net_.subscribe(pid_, sim::Channel::kOracle,
+                 [this](ProcessId from, BytesView data) { on_message(from, data); });
+}
+
+void OracleRbc::broadcast(Round r, Bytes payload) {
+  ByteWriter w(payload.size() + 12);
+  w.u64(r);
+  w.blob(payload);
+  net_.broadcast(pid_, sim::Channel::kOracle, std::move(w).take());
+}
+
+void OracleRbc::on_message(ProcessId from, BytesView data) {
+  ByteReader in(data);
+  const Round r = in.u64();
+  Bytes payload = in.blob();
+  if (!in.done()) return;
+  // Integrity: first payload per (source, round) wins; an equivocating
+  // sender is silently reduced to its first message, which is exactly the
+  // guarantee a real RBC provides.
+  if (!delivered_.emplace(from, r).second) return;
+  if (deliver_) deliver_(from, r, payload);
+}
+
+}  // namespace dr::rbc

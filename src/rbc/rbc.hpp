@@ -1,0 +1,47 @@
+// Reliable broadcast abstraction (§2): r_bcast(m, r) / r_deliver(m, r, p_k)
+// with Agreement, Integrity, and Validity. One component instance per
+// process multiplexes all (source, round) broadcast instances.
+//
+// Instantiations (Table 1 rows):
+//   BrachaRbc  — classic Bracha [11]: O(n^2) messages, echoes carry the
+//                full payload; deterministic guarantees.
+//   AvidRbc    — Cachin–Tessaro-style verifiable information dispersal [14]:
+//                RS-coded fragments + Merkle commitments;
+//                O(n |m| + n^2 log n) bits; deterministic guarantees.
+//   GossipRbc  — Guerraoui et al.-style sample-based broadcast [25]:
+//                O(n log n) messages with whp (1-ε) guarantees.
+//   OracleRbc  — simulator-level idealized broadcast for layering tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+
+namespace dr::rbc {
+
+class ReliableBroadcast {
+ public:
+  /// r_deliver(m, r, p_k): payload m broadcast by source in round r.
+  using DeliverFn =
+      std::function<void(ProcessId source, Round r, Bytes payload)>;
+
+  virtual ~ReliableBroadcast() = default;
+
+  /// Registers the deliver upcall. Must be called before any broadcast.
+  virtual void set_deliver(DeliverFn fn) = 0;
+
+  /// r_bcast(m, r) by this process. At most one call per round per process
+  /// (the DAG layer guarantees this; Byzantine components may violate it and
+  /// the abstraction's Integrity property masks the damage).
+  virtual void broadcast(Round r, Bytes payload) = 0;
+};
+
+/// Factory signature used by the system harness so every experiment can be
+/// parameterized over the broadcast instantiation.
+using RbcFactory = std::function<std::unique_ptr<ReliableBroadcast>(
+    sim::Network& net, ProcessId pid, std::uint64_t seed)>;
+
+}  // namespace dr::rbc

@@ -1,0 +1,82 @@
+#include "txpool/mempool.hpp"
+
+namespace dr::txpool {
+
+namespace {
+constexpr std::uint32_t kBlockMagic = 0x7B10C35;
+}  // namespace
+
+Bytes encode_block(const std::vector<Transaction>& txs) {
+  std::size_t size = 8;
+  for (const Transaction& tx : txs) size += tx.wire_size();
+  ByteWriter w(size);
+  w.u32(kBlockMagic);
+  w.u32(static_cast<std::uint32_t>(txs.size()));
+  for (const Transaction& tx : txs) tx.serialize_into(w);
+  return std::move(w).take();
+}
+
+Expected<std::vector<Transaction>> decode_block(BytesView block) {
+  ByteReader in(block);
+  if (in.u32() != kBlockMagic) {
+    return Expected<std::vector<Transaction>>::failure("not a tx block");
+  }
+  const std::uint32_t count = in.u32();
+  if (!in.ok() || count > 1u << 22) {
+    return Expected<std::vector<Transaction>>::failure("absurd tx count");
+  }
+  std::vector<Transaction> txs;
+  txs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Transaction tx;
+    if (!Transaction::deserialize_from(in, tx)) {
+      return Expected<std::vector<Transaction>>::failure("truncated tx");
+    }
+    txs.push_back(std::move(tx));
+  }
+  if (!in.done()) {
+    return Expected<std::vector<Transaction>>::failure("trailing bytes");
+  }
+  return txs;
+}
+
+bool Mempool::submit(Transaction tx) {
+  if (seen_.count(tx.id) > 0 || delivered_.count(tx.id) > 0) {
+    ++dup_rejects_;
+    return false;
+  }
+  if (queue_.size() >= max_pending_) {
+    ++overflow_rejects_;
+    return false;
+  }
+  seen_.insert(tx.id);
+  queue_.push_back(std::move(tx));
+  ++accepted_;
+  return true;
+}
+
+Bytes Mempool::next_block(std::size_t max_txs) {
+  if (queue_.empty()) return {};
+  std::vector<Transaction> batch;
+  batch.reserve(std::min(max_txs, queue_.size()));
+  while (!queue_.empty() && batch.size() < max_txs) {
+    // Skip transactions that got ordered via someone else's block while
+    // they waited here.
+    Transaction tx = std::move(queue_.front());
+    queue_.pop_front();
+    if (delivered_.count(tx.id) > 0) continue;
+    batch.push_back(std::move(tx));
+  }
+  if (batch.empty()) return {};
+  return encode_block(batch);
+}
+
+std::size_t Mempool::observe_delivered(const std::vector<Transaction>& txs) {
+  std::size_t newly = 0;
+  for (const Transaction& tx : txs) {
+    if (delivered_.insert(tx.id).second) ++newly;
+  }
+  return newly;
+}
+
+}  // namespace dr::txpool

@@ -1,0 +1,51 @@
+// Per-process mempool: accepts client submissions, deduplicates (clients
+// may submit one transaction to several processes for redundancy), and
+// drains FIFO batches into BAB blocks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "txpool/transaction.hpp"
+
+namespace dr::txpool {
+
+class Mempool {
+ public:
+  /// max_pending bounds memory against client overload; excess submissions
+  /// are rejected (returns false) — backpressure, not silent drops.
+  explicit Mempool(std::size_t max_pending = 100'000)
+      : max_pending_(max_pending) {}
+
+  /// Returns false if duplicate or over capacity.
+  bool submit(Transaction tx);
+
+  /// True once a transaction id has been seen (pending or already drained).
+  bool knows(std::uint64_t id) const { return seen_.count(id) > 0; }
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected_duplicates() const { return dup_rejects_; }
+  std::uint64_t rejected_overflow() const { return overflow_rejects_; }
+
+  /// Drains up to max_txs transactions into a BAB block. Empty block (zero
+  /// bytes) if the pool is empty.
+  Bytes next_block(std::size_t max_txs);
+
+  /// Removes transactions observed in a delivered block (they were ordered
+  /// by someone else's vertex; proposing them again would waste bytes).
+  /// Returns how many pending entries were dropped.
+  std::size_t observe_delivered(const std::vector<Transaction>& txs);
+
+ private:
+  std::size_t max_pending_;
+  std::deque<Transaction> queue_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::unordered_set<std::uint64_t> delivered_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t dup_rejects_ = 0;
+  std::uint64_t overflow_rejects_ = 0;
+};
+
+}  // namespace dr::txpool

@@ -1,0 +1,272 @@
+// Tests: binary Byzantine agreement (MMR) and the Aleph-style DAG baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/aleph/aleph.hpp"
+#include "coin/dealer.hpp"
+#include "coin/threshold_coin.hpp"
+#include "rbc/factory.hpp"
+#include "sim/adversary.hpp"
+
+namespace dr::baselines {
+namespace {
+
+class BbaHarness {
+ public:
+  BbaHarness(Committee c, std::uint64_t seed,
+             std::unique_ptr<sim::DelayModel> delays = nullptr)
+      : sim_(seed),
+        net_(sim_, c,
+             delays ? std::move(delays)
+                    : std::make_unique<sim::UniformDelay>(1, 40)),
+        dealer_(seed ^ 0xAB, c) {
+    for (ProcessId p = 0; p < c.n; ++p) {
+      coins_.push_back(std::make_unique<coin::ThresholdCoin>(
+          net_, coin::ProcessCoinKey(&dealer_, p)));
+      decisions_.emplace_back();
+      bbas_.push_back(std::make_unique<BinaryAgreement>(
+          net_, p, *coins_[p],
+          [this, p](std::uint64_t instance, bool v) {
+            decisions_[p][instance] = v;
+          }));
+    }
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  coin::CoinDealer dealer_;
+  std::vector<std::unique_ptr<coin::ThresholdCoin>> coins_;
+  std::vector<std::unique_ptr<BinaryAgreement>> bbas_;
+  std::vector<std::map<std::uint64_t, bool>> decisions_;
+};
+
+TEST(Bba, UnanimousInputsDecideThatValue) {
+  for (bool input : {false, true}) {
+    BbaHarness h(Committee::for_f(1), input ? 2 : 3);
+    for (ProcessId p = 0; p < 4; ++p) h.bbas_[p]->propose(1, input);
+    h.sim_.run();
+    for (ProcessId p = 0; p < 4; ++p) {
+      ASSERT_EQ(h.decisions_[p].count(1), 1u) << "p" << p;
+      EXPECT_EQ(h.decisions_[p][1], input) << "validity violated";
+    }
+  }
+}
+
+TEST(Bba, MixedInputsAgreeOnSomeInput) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    BbaHarness h(Committee::for_f(1), seed * 13);
+    for (ProcessId p = 0; p < 4; ++p) h.bbas_[p]->propose(1, p % 2 == 0);
+    h.sim_.run();
+    ASSERT_EQ(h.decisions_[0].count(1), 1u) << "seed " << seed;
+    const bool v = h.decisions_[0][1];
+    for (ProcessId p = 1; p < 4; ++p) {
+      ASSERT_EQ(h.decisions_[p].count(1), 1u);
+      EXPECT_EQ(h.decisions_[p][1], v) << "agreement violated, seed " << seed;
+    }
+  }
+}
+
+TEST(Bba, ToleratesFCrashes) {
+  BbaHarness h(Committee::for_f(2), 7);  // n = 7
+  h.net_.crash(5);
+  h.net_.crash(6);
+  for (ProcessId p = 0; p < 5; ++p) h.bbas_[p]->propose(1, p < 3);
+  h.sim_.run();
+  const bool v = h.decisions_[0][1];
+  for (ProcessId p = 0; p < 5; ++p) {
+    ASSERT_EQ(h.decisions_[p].count(1), 1u) << "p" << p;
+    EXPECT_EQ(h.decisions_[p][1], v);
+  }
+}
+
+TEST(Bba, ManyConcurrentInstances) {
+  BbaHarness h(Committee::for_f(1), 9);
+  for (std::uint64_t inst = 1; inst <= 20; ++inst) {
+    for (ProcessId p = 0; p < 4; ++p) {
+      h.bbas_[p]->propose(inst, (inst + p) % 3 == 0);
+    }
+  }
+  h.sim_.run();
+  for (std::uint64_t inst = 1; inst <= 20; ++inst) {
+    ASSERT_EQ(h.decisions_[0].count(inst), 1u) << "instance " << inst;
+    for (ProcessId p = 1; p < 4; ++p) {
+      EXPECT_EQ(h.decisions_[p][inst], h.decisions_[0][inst]);
+    }
+  }
+}
+
+TEST(Bba, ExpectedConstantRounds) {
+  double total = 0;
+  int count = 0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    BbaHarness h(Committee::for_f(1), seed * 31);
+    for (ProcessId p = 0; p < 4; ++p) h.bbas_[p]->propose(1, p % 2 == 0);
+    h.sim_.run();
+    if (h.bbas_[0]->decided(1)) {
+      total += static_cast<double>(h.bbas_[0]->rounds_used(1));
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 10);
+  EXPECT_LT(total / count, 4.0);  // expected ~2 with a fair coin
+}
+
+TEST(Bba, ByzantineBvalFloodCannotForgeDecision) {
+  // All correct propose 0; Byzantine process 3 floods BVAL/AUX(1). With only
+  // f=1 BVAL(1) sender, 1 never enters bin_values and the decision stays 0.
+  BbaHarness h(Committee::for_f(1), 11);
+  h.net_.corrupt(3);
+  for (ProcessId p = 0; p < 3; ++p) h.bbas_[p]->propose(1, false);
+  for (ProcessId to = 0; to < 3; ++to) {
+    ByteWriter bval;
+    bval.u8(1);  // kBval
+    bval.u64(1);
+    bval.u64(1);
+    bval.u8(1);
+    h.net_.send(3, to, sim::Channel::kBba, std::move(bval).take());
+    ByteWriter aux;
+    aux.u8(2);  // kAux
+    aux.u64(1);
+    aux.u64(1);
+    aux.u8(1);
+    h.net_.send(3, to, sim::Channel::kBba, std::move(aux).take());
+  }
+  h.sim_.run();
+  for (ProcessId p = 0; p < 3; ++p) {
+    ASSERT_EQ(h.decisions_[p].count(1), 1u);
+    EXPECT_FALSE(h.decisions_[p][1]);
+  }
+}
+
+TEST(Bba, ForgedDecideBelowQuorumIgnored) {
+  BbaHarness h(Committee::for_f(1), 12);
+  h.net_.corrupt(3);
+  // A single Byzantine DECIDE(1) must not sway anyone (threshold is f+1=2).
+  for (ProcessId to = 0; to < 3; ++to) {
+    ByteWriter w;
+    w.u8(3);  // kDecide
+    w.u64(1);
+    w.u8(1);
+    h.net_.send(3, to, sim::Channel::kBba, std::move(w).take());
+  }
+  for (ProcessId p = 0; p < 3; ++p) h.bbas_[p]->propose(1, false);
+  h.sim_.run();
+  for (ProcessId p = 0; p < 3; ++p) {
+    ASSERT_EQ(h.decisions_[p].count(1), 1u);
+    EXPECT_FALSE(h.decisions_[p][1]) << "forged DECIDE accepted!";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aleph-style ordering.
+
+class AlephHarness {
+ public:
+  AlephHarness(Committee c, std::uint64_t seed,
+               std::unique_ptr<sim::DelayModel> delays = nullptr)
+      : committee_(c),
+        sim_(seed),
+        net_(sim_, c,
+             delays ? std::move(delays)
+                    : std::make_unique<sim::UniformDelay>(1, 40)),
+        dealer_(seed ^ 0xA1, c) {
+    const auto factory = rbc::make_factory(rbc::RbcKind::kOracle);
+    for (ProcessId p = 0; p < c.n; ++p) {
+      rbcs_.push_back(factory(net_, p, seed));
+      builders_.push_back(std::make_unique<dag::DagBuilder>(
+          c, p, *rbcs_[p],
+          dag::BuilderOptions{.auto_blocks = true, .auto_block_size = 8}));
+      coins_.push_back(std::make_unique<coin::ThresholdCoin>(
+          net_, coin::ProcessCoinKey(&dealer_, p)));
+      orderers_.push_back(std::make_unique<AlephOrderer>(
+          *builders_[p], net_, p, *coins_[p]));
+      logs_.emplace_back();
+      orderers_[p]->set_deliver(
+          [this, p](const Bytes&, Round r, ProcessId source) {
+            logs_[p].emplace_back(r, source);
+          });
+    }
+  }
+
+  void start() {
+    for (auto& b : builders_) {
+      if (!net_.is_crashed(b->pid())) b->start();
+    }
+  }
+
+  Committee committee_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  coin::CoinDealer dealer_;
+  std::vector<std::unique_ptr<rbc::ReliableBroadcast>> rbcs_;
+  std::vector<std::unique_ptr<dag::DagBuilder>> builders_;
+  std::vector<std::unique_ptr<coin::ThresholdCoin>> coins_;
+  std::vector<std::unique_ptr<AlephOrderer>> orderers_;
+  std::vector<std::vector<std::pair<Round, ProcessId>>> logs_;
+};
+
+TEST(Aleph, OrdersVerticesWithAgreement) {
+  AlephHarness h(Committee::for_f(1), 5);
+  h.start();
+  ASSERT_TRUE(h.sim_.run_until(
+      [&] {
+        for (ProcessId p = 0; p < 4; ++p) {
+          if (h.orderers_[p]->rounds_output() < 6) return false;
+        }
+        return true;
+      },
+      20'000'000));
+  // Prefix agreement across processes.
+  for (ProcessId p = 1; p < 4; ++p) {
+    const std::size_t len = std::min(h.logs_[0].size(), h.logs_[p].size());
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(h.logs_[0][i], h.logs_[p][i]) << "divergence at " << i;
+    }
+  }
+  // Rounds come out in order.
+  for (std::size_t i = 1; i < h.logs_[0].size(); ++i) {
+    EXPECT_LE(h.logs_[0][i - 1].first, h.logs_[0][i].first);
+  }
+}
+
+TEST(Aleph, SlowProcessVerticesGetExcluded) {
+  // The §7 claim: Aleph does not satisfy Validity. A process behind a slow
+  // link misses the voting window; its slots decide 0 and its blocks are
+  // dropped — in the SAME setting where DAG-Rider's weak edges keep them.
+  AlephHarness h(Committee::for_f(1), 6,
+                 std::make_unique<sim::FixedSetDelay>(std::vector<ProcessId>{3},
+                                                      /*fast=*/30, /*slow=*/900));
+  h.start();
+  ASSERT_TRUE(h.sim_.run_until(
+      [&] { return h.orderers_[0]->rounds_output() >= 8; }, 50'000'000));
+  std::uint64_t from_slow = 0;
+  for (const auto& [r, source] : h.logs_[0]) {
+    from_slow += source == 3 ? 1 : 0;
+  }
+  EXPECT_EQ(from_slow, 0u) << "expected the slow process to be starved";
+  EXPECT_GT(h.orderers_[0]->excluded_count(), 0u);
+}
+
+TEST(Aleph, ToleratesCrashedProcess) {
+  AlephHarness h(Committee::for_f(1), 7);
+  h.net_.crash(3);
+  h.start();
+  ASSERT_TRUE(h.sim_.run_until(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (h.orderers_[p]->rounds_output() < 5) return false;
+        }
+        return true;
+      },
+      20'000'000));
+  for (ProcessId p = 1; p < 3; ++p) {
+    const std::size_t len = std::min(h.logs_[0].size(), h.logs_[p].size());
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(h.logs_[0][i], h.logs_[p][i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dr::baselines

@@ -1,0 +1,193 @@
+// Unit tests: global perfect coin — oracle and threshold implementations,
+// against the paper's four properties (Agreement, Termination,
+// Unpredictability, Fairness).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coin/coin.hpp"
+#include "coin/dealer.hpp"
+#include "coin/threshold_coin.hpp"
+
+namespace dr::coin {
+namespace {
+
+TEST(LocalCoin, AgreementAcrossInstancesWithSameSeed) {
+  LocalCoin a(42, 7), b(42, 7);
+  for (Wave w = 1; w <= 50; ++w) {
+    EXPECT_EQ(a.leader_for(w), b.leader_for(w));
+  }
+}
+
+TEST(LocalCoin, FairnessRoughlyUniform) {
+  const std::uint32_t n = 4;
+  LocalCoin coin(7, n);
+  std::vector<int> counts(n, 0);
+  const int waves = 4000;
+  for (Wave w = 1; w <= waves; ++w) counts[coin.leader_for(w)]++;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    EXPECT_NEAR(counts[p], waves / n, waves / n * 0.2) << "p=" << p;
+  }
+}
+
+TEST(CoinDealer, SharesReconstructTheInstanceSecret) {
+  const Committee c = Committee::for_f(2);  // n=7, threshold 3
+  CoinDealer dealer(123, c);
+  for (Wave w = 1; w <= 5; ++w) {
+    std::vector<crypto::ShamirShare> shares;
+    for (ProcessId p = 2; p < 5; ++p) shares.push_back(dealer.share_for(w, p));
+    EXPECT_EQ(crypto::Shamir::reconstruct(shares), dealer.secret(w));
+  }
+}
+
+TEST(CoinDealer, VerifyAcceptsRealSharesRejectsForgeries) {
+  const Committee c = Committee::for_f(1);
+  CoinDealer dealer(5, c);
+  const auto share = dealer.share_for(3, 2);
+  EXPECT_TRUE(dealer.verify_share(3, share.x, share.y));
+  EXPECT_FALSE(dealer.verify_share(3, share.x, share.y + 1));
+  EXPECT_FALSE(dealer.verify_share(4, share.x, share.y));  // wrong instance
+  EXPECT_FALSE(dealer.verify_share(3, 0, share.y));        // x = 0 forbidden
+  EXPECT_FALSE(dealer.verify_share(3, c.n + 1, share.y));  // out of range
+}
+
+TEST(CoinDealer, InstancesAreIndependent) {
+  const Committee c = Committee::for_f(1);
+  CoinDealer dealer(5, c);
+  EXPECT_NE(dealer.secret(1), dealer.secret(2));
+  // A share for instance 1 tells nothing about instance 2's polynomial.
+  EXPECT_NE(dealer.share_for(1, 0).y, dealer.share_for(2, 0).y);
+}
+
+/// Threshold-coin fixture: n processes on a simulated network.
+class ThresholdCoinTest : public ::testing::Test {
+ protected:
+  void build(std::uint32_t f, bool broadcast_shares = true) {
+    committee_ = Committee::for_f(f);
+    sim_ = std::make_unique<sim::Simulator>(11);
+    net_ = std::make_unique<sim::Network>(
+        *sim_, committee_, std::make_unique<sim::UniformDelay>(1, 20));
+    dealer_ = std::make_unique<CoinDealer>(99, committee_);
+    for (ProcessId p = 0; p < committee_.n; ++p) {
+      coins_.push_back(std::make_unique<ThresholdCoin>(
+          *net_, ProcessCoinKey(dealer_.get(), p), broadcast_shares));
+    }
+  }
+
+  Committee committee_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<CoinDealer> dealer_;
+  std::vector<std::unique_ptr<ThresholdCoin>> coins_;
+};
+
+TEST_F(ThresholdCoinTest, AgreementAndTermination) {
+  build(2);  // n = 7
+  std::map<ProcessId, ProcessId> results;
+  for (ProcessId p = 0; p < committee_.n; ++p) {
+    coins_[p]->choose_leader(1, [&, p](ProcessId leader) { results[p] = leader; });
+  }
+  sim_->run();
+  ASSERT_EQ(results.size(), committee_.n);
+  for (const auto& [p, leader] : results) {
+    EXPECT_EQ(leader, results[0]) << "process " << p << " disagrees";
+    EXPECT_LT(leader, committee_.n);
+  }
+}
+
+TEST_F(ThresholdCoinTest, TerminatesWithExactlyFPlusOneCallers) {
+  build(2);  // n = 7, threshold 3 = f+1
+  std::map<ProcessId, ProcessId> results;
+  // Only f+1 = 3 processes invoke the coin; everyone who asked must return.
+  for (ProcessId p = 0; p < 3; ++p) {
+    coins_[p]->choose_leader(4, [&, p](ProcessId l) { results[p] = l; });
+  }
+  sim_->run();
+  EXPECT_EQ(results.size(), 3u);
+}
+
+TEST_F(ThresholdCoinTest, DoesNotResolveBelowThreshold) {
+  build(2);  // threshold 3
+  bool resolved = false;
+  for (ProcessId p = 0; p < 2; ++p) {  // only f callers
+    coins_[p]->choose_leader(9, [&](ProcessId) { resolved = true; });
+  }
+  sim_->run();
+  EXPECT_FALSE(resolved);  // unpredictability: f shares reveal nothing
+  EXPECT_FALSE(coins_[0]->has_value(9));
+}
+
+TEST_F(ThresholdCoinTest, ByzantineGarbageSharesAreRejected) {
+  build(1);  // n = 4, threshold 2
+  // Process 3 is Byzantine: floods wrong shares for wave 1.
+  net_->corrupt(3);
+  for (ProcessId to = 0; to < 4; ++to) {
+    ByteWriter w;
+    w.u64(1);              // wave
+    w.u64(0xBAD0BAD0BAD);  // bogus share value
+    net_->send(3, to, sim::Channel::kCoin, std::move(w).take());
+  }
+  std::map<ProcessId, ProcessId> results;
+  for (ProcessId p = 0; p < 3; ++p) {
+    coins_[p]->choose_leader(1, [&, p](ProcessId l) { results[p] = l; });
+  }
+  sim_->run();
+  ASSERT_EQ(results.size(), 3u);
+  // All correct processes agree on the leader derived from *valid* shares.
+  const std::uint64_t secret = dealer_->secret(1);
+  const ProcessId expected = leader_from_secret(secret, 1, 4);
+  for (const auto& [p, leader] : results) EXPECT_EQ(leader, expected);
+}
+
+TEST_F(ThresholdCoinTest, LateCallerGetsCachedValue) {
+  build(1);
+  std::map<ProcessId, ProcessId> results;
+  for (ProcessId p = 0; p < 3; ++p) {
+    coins_[p]->choose_leader(2, [&, p](ProcessId l) { results[p] = l; });
+  }
+  sim_->run();
+  // Process 3 asks only now; shares already arrived, resolution is instant.
+  ProcessId late = kInvalidProcess;
+  coins_[3]->choose_leader(2, [&](ProcessId l) { late = l; });
+  EXPECT_EQ(late, results[0]);
+}
+
+TEST_F(ThresholdCoinTest, IngestShareSupportsPiggybackMode) {
+  build(1, /*broadcast_shares=*/false);
+  // No process broadcasts on the coin channel; shares arrive out-of-band.
+  std::map<ProcessId, ProcessId> results;
+  for (ProcessId p = 0; p < 4; ++p) {
+    coins_[p]->choose_leader(1, [&, p](ProcessId l) { results[p] = l; });
+  }
+  sim_->run();
+  EXPECT_TRUE(results.empty());  // nothing moved without shares
+
+  // Hand-deliver shares from processes 0 and 1 (threshold = 2) to everyone.
+  for (ProcessId holder = 0; holder < 2; ++holder) {
+    const auto share = dealer_->share_for(1, holder);
+    for (ProcessId p = 0; p < 4; ++p) {
+      coins_[p]->ingest_share(holder, 1, share.y);
+    }
+  }
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& [p, l] : results) EXPECT_EQ(l, results[0]);
+}
+
+TEST_F(ThresholdCoinTest, FairnessOverManyWaves) {
+  build(1);  // n = 4
+  std::vector<int> counts(4, 0);
+  const int waves = 600;
+  std::map<Wave, ProcessId> results;
+  for (Wave w = 1; w <= static_cast<Wave>(waves); ++w) {
+    for (ProcessId p = 0; p < 4; ++p) {
+      coins_[p]->choose_leader(w, [&, w](ProcessId l) { results[w] = l; });
+    }
+  }
+  sim_->run();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(waves));
+  for (const auto& [w, l] : results) counts[l]++;
+  for (int c : counts) EXPECT_NEAR(c, waves / 4, waves / 4 * 0.35);
+}
+
+}  // namespace
+}  // namespace dr::coin

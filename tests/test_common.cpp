@@ -1,0 +1,148 @@
+// Unit tests: common kernel (serialization, RNG, quorum math, Expected).
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dr {
+namespace {
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.blob(std::string_view{"hello"});
+  Bytes raw = std::move(w).take();
+
+  ByteReader r(raw);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  Bytes blob = r.blob();
+  EXPECT_EQ(std::string(blob.begin(), blob.end()), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, ReaderUnderflowSetsFailure) {
+  ByteWriter w;
+  w.u16(7);
+  Bytes raw = std::move(w).take();
+  ByteReader r(raw);
+  (void)r.u64();  // too large
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+  // Further reads stay failed and return zero.
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, BlobWithTruncatedLengthFails) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  Bytes raw = std::move(w).take();
+  ByteReader r(raw);
+  Bytes blob = r.blob();
+  EXPECT_TRUE(blob.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, EmptyBlobRoundTrip) {
+  ByteWriter w;
+  w.blob(BytesView{});
+  Bytes raw = std::move(w).take();
+  ByteReader r(raw);
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, ToHex) {
+  const Bytes b{0x00, 0xff, 0x1a};
+  EXPECT_EQ(to_hex(b), "00ff1a");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) differing += a() != b() ? 1 : 0;
+  EXPECT_GT(differing, 5);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversRange) {
+  Xoshiro256 rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v]++;
+  }
+  for (int count : seen) EXPECT_GT(count, 700);  // roughly uniform
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Xoshiro256 parent(5);
+  Xoshiro256 c1 = parent.fork(1);
+  Xoshiro256 c2 = parent.fork(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) differing += c1() != c2() ? 1 : 0;
+  EXPECT_GT(differing, 5);
+}
+
+TEST(Committee, QuorumArithmetic) {
+  const Committee c = Committee::for_f(1);
+  EXPECT_EQ(c.n, 4u);
+  EXPECT_EQ(c.quorum(), 3u);
+  EXPECT_EQ(c.small_quorum(), 2u);
+  EXPECT_TRUE(c.valid());
+
+  const Committee c10 = Committee::for_n(10);
+  EXPECT_EQ(c10.f, 3u);
+  EXPECT_TRUE(c10.valid());
+
+  const Committee bad{3, 1};
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(Waves, RoundWaveMapping) {
+  // round(w, k) = 4(w-1) + k.
+  EXPECT_EQ(wave_round(1, 1), 1u);
+  EXPECT_EQ(wave_round(1, 4), 4u);
+  EXPECT_EQ(wave_round(2, 1), 5u);
+  EXPECT_EQ(wave_round(3, 4), 12u);
+  for (Wave w = 1; w <= 20; ++w) {
+    for (Round k = 1; k <= 4; ++k) {
+      EXPECT_EQ(wave_of_round(wave_round(w, k)), w);
+    }
+  }
+}
+
+TEST(Expected, ValueAndFailurePaths) {
+  Expected<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+
+  auto bad = Expected<int>::failure("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+}
+
+}  // namespace
+}  // namespace dr

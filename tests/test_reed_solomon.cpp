@@ -1,0 +1,199 @@
+// Unit tests: Reed–Solomon erasure codes and Merkle trees (the AVID
+// substrate). Parameterized over (k, m) to sweep committee sizes.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/reed_solomon.hpp"
+
+namespace dr::crypto {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+class RsParam : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RsParam, RoundTripWithMaximalErasures) {
+  const auto [k, m, payload_size] = GetParam();
+  ReedSolomon rs(k, m);
+  const Bytes data = random_bytes(payload_size, k * 1000 + m * 10 + payload_size);
+  auto shards = rs.encode(data);
+  ASSERT_EQ(shards.size(), static_cast<std::size_t>(k + m));
+
+  // Erase m shards (the maximum) in several patterns.
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::optional<Bytes>> present(k + m);
+    for (int i = 0; i < k + m; ++i) present[i] = shards[i];
+    // Knock out m random distinct shards.
+    std::vector<int> idx(k + m);
+    for (int i = 0; i < k + m; ++i) idx[i] = i;
+    for (int i = 0; i < m; ++i) {
+      std::swap(idx[i], idx[i + rng.below(k + m - i)]);
+      present[idx[i]].reset();
+    }
+    auto decoded = rs.decode(present);
+    ASSERT_TRUE(decoded.ok()) << decoded.ok();
+    EXPECT_EQ(decoded.value(), data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Committees, RsParam,
+    ::testing::Values(std::tuple{2, 2, 100},    // n=4  (f=1)
+                      std::tuple{3, 4, 257},    // n=7  (f=2)
+                      std::tuple{4, 6, 1024},   // n=10 (f=3)
+                      std::tuple{5, 8, 33},     // n=13 (f=4)
+                      std::tuple{1, 3, 10},     // degenerate k=1
+                      std::tuple{8, 0, 64},     // no parity
+                      std::tuple{11, 20, 4096}  // n=31 (f=10)
+                      ));
+
+TEST(ReedSolomon, EmptyPayloadRoundTrip) {
+  ReedSolomon rs(3, 4);
+  auto shards = rs.encode(Bytes{});
+  std::vector<std::optional<Bytes>> present(7);
+  for (int i = 3; i < 7; ++i) present[i] = shards[i];  // parity only
+  auto decoded = rs.decode(present);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(ReedSolomon, TooFewShardsFails) {
+  ReedSolomon rs(3, 4);
+  auto shards = rs.encode(random_bytes(100, 1));
+  std::vector<std::optional<Bytes>> present(7);
+  present[0] = shards[0];
+  present[5] = shards[5];
+  auto decoded = rs.decode(present);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ReedSolomon, InconsistentShardSizesRejected) {
+  ReedSolomon rs(2, 2);
+  auto shards = rs.encode(random_bytes(64, 2));
+  std::vector<std::optional<Bytes>> present(4);
+  present[0] = shards[0];
+  present[1] = shards[1];
+  present[1]->push_back(0);  // corrupt length
+  auto decoded = rs.decode(present);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ReedSolomon, ReconstructShardMatchesOriginal) {
+  ReedSolomon rs(4, 6);
+  const Bytes data = random_bytes(500, 3);
+  auto shards = rs.encode(data);
+  std::vector<std::optional<Bytes>> present(10);
+  for (int i = 0; i < 4; ++i) present[i + 3] = shards[i + 3];
+  for (std::uint32_t target = 0; target < 10; ++target) {
+    auto rebuilt = rs.reconstruct_shard(present, target);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(rebuilt.value(), shards[target]) << "shard " << target;
+  }
+}
+
+TEST(ReedSolomon, CorruptedShardChangesDecodeOutput) {
+  // RS erasure decoding trusts the shards it is given: flipping a byte must
+  // change the output (detection is Merkle's job in AVID).
+  ReedSolomon rs(3, 2);
+  const Bytes data = random_bytes(90, 4);
+  auto shards = rs.encode(data);
+  std::vector<std::optional<Bytes>> present(5);
+  for (int i = 0; i < 3; ++i) present[i] = shards[i];
+  (*present[1])[3] ^= 0x40;
+  auto decoded = rs.decode(present);
+  if (decoded.ok()) {
+    EXPECT_NE(decoded.value(), data);
+  }
+}
+
+TEST(Merkle, ProofsVerifyForEveryLeafAndCount) {
+  for (int count : {1, 2, 3, 4, 5, 7, 8, 9, 16, 31}) {
+    std::vector<Bytes> leaves;
+    for (int i = 0; i < count; ++i) {
+      leaves.push_back(random_bytes(10 + i, 1000 + i));
+    }
+    MerkleTree tree(leaves);
+    for (int i = 0; i < count; ++i) {
+      const MerkleProof proof = tree.prove(static_cast<std::uint32_t>(i));
+      EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], proof))
+          << "count=" << count << " leaf=" << i;
+    }
+  }
+}
+
+TEST(Merkle, WrongLeafRejected) {
+  std::vector<Bytes> leaves{{1}, {2}, {3}, {4}, {5}};
+  MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(2);
+  Bytes tampered = leaves[2];
+  tampered[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), tampered, proof));
+}
+
+TEST(Merkle, ProofForWrongIndexRejected) {
+  std::vector<Bytes> leaves{{1}, {2}, {3}, {4}};
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(1);
+  proof.leaf_index = 2;  // claim a different position
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[1], proof));
+}
+
+TEST(Merkle, WrongRootRejected) {
+  std::vector<Bytes> leaves{{1}, {2}, {3}, {4}};
+  MerkleTree tree(leaves);
+  Digest other = tree.root();
+  other[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(other, leaves[0], tree.prove(0)));
+}
+
+TEST(Merkle, LeafCannotPoseAsInteriorNode) {
+  // Domain separation: a crafted "leaf" equal to H(left)||H(right) must not
+  // verify at the parent position.
+  std::vector<Bytes> leaves{{1}, {2}};
+  MerkleTree tree(leaves);
+  const Digest l0 = MerkleTree::hash_leaf(leaves[0]);
+  const Digest l1 = MerkleTree::hash_leaf(leaves[1]);
+  Bytes forged;
+  forged.insert(forged.end(), l0.begin(), l0.end());
+  forged.insert(forged.end(), l1.begin(), l1.end());
+  MerkleProof empty_proof;
+  empty_proof.leaf_index = 0;
+  empty_proof.leaf_count = 1;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), forged, empty_proof));
+}
+
+TEST(Merkle, ProofSerializationRoundTrip) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 9; ++i) leaves.push_back(random_bytes(8, i));
+  MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(6);
+  const Bytes wire = proof.serialize();
+  EXPECT_EQ(wire.size(), proof.wire_size());
+  ByteReader in(wire);
+  MerkleProof back;
+  ASSERT_TRUE(MerkleProof::deserialize(in, back));
+  EXPECT_TRUE(in.done());
+  EXPECT_EQ(back.leaf_index, proof.leaf_index);
+  EXPECT_EQ(back.leaf_count, proof.leaf_count);
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[6], back));
+}
+
+TEST(Merkle, TruncatedProofRejected) {
+  std::vector<Bytes> leaves{{1}, {2}, {3}, {4}};
+  MerkleTree tree(leaves);
+  Bytes wire = tree.prove(0).serialize();
+  wire.pop_back();
+  ByteReader in(wire);
+  MerkleProof back;
+  EXPECT_FALSE(MerkleProof::deserialize(in, back) && in.done());
+}
+
+}  // namespace
+}  // namespace dr::crypto

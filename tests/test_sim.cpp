@@ -1,0 +1,226 @@
+// Unit tests: discrete-event simulator and simulated network, including the
+// adaptive-corruption semantics the paper's adversary model requires.
+#include <gtest/gtest.h>
+
+#include "sim/adversary.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dr::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule(5, [&] { order.push_back(1); });
+  sim.schedule(5, [&] { order.push_back(2); });
+  sim.schedule(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NestedSchedulingFromHandlers) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule(10, [&] {
+    order.push_back(1);
+    sim.schedule(5, [&] { order.push_back(2); });
+  });
+  sim.schedule(12, [&] { order.push_back(3); });
+  sim.run();
+  // The nested event lands at t=15, after the t=12 event.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim(1);
+  bool ran = false;
+  const std::uint64_t id = sim.schedule(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtPredicate) {
+  Simulator sim(1);
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(i + 1, [&] { ++count; });
+  EXPECT_TRUE(sim.run_until([&] { return count == 5; }));
+  EXPECT_EQ(count, 5);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(Simulator, RunUntilFalseWhenQueueDrains) {
+  Simulator sim(1);
+  sim.schedule(1, [] {});
+  EXPECT_FALSE(sim.run_until([] { return false; }));
+}
+
+TEST(Simulator, MaxEventsBudget) {
+  Simulator sim(1);
+  for (int i = 0; i < 10; ++i) sim.schedule(i, [] {});
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(sim.run(), 6u);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : sim_(7),
+        net_(sim_, Committee::for_f(1), std::make_unique<UniformDelay>(1, 10)) {}
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DeliversToSubscribedHandlerWithSender) {
+  ProcessId got_from = kInvalidProcess;
+  Bytes got;
+  net_.subscribe(1, Channel::kApp, [&](ProcessId from, BytesView data) {
+    got_from = from;
+    got.assign(data.begin(), data.end());
+  });
+  net_.send(0, 1, Channel::kApp, Bytes{1, 2, 3});
+  sim_.run();
+  EXPECT_EQ(got_from, 0u);
+  EXPECT_EQ(got, (Bytes{1, 2, 3}));
+}
+
+TEST_F(NetworkTest, ChannelsAreIsolated) {
+  int app = 0, coin = 0;
+  net_.subscribe(1, Channel::kApp, [&](ProcessId, BytesView) { ++app; });
+  net_.subscribe(1, Channel::kCoin, [&](ProcessId, BytesView) { ++coin; });
+  net_.send(0, 1, Channel::kApp, Bytes{1});
+  net_.send(0, 1, Channel::kApp, Bytes{2});
+  net_.send(0, 1, Channel::kCoin, Bytes{3});
+  sim_.run();
+  EXPECT_EQ(app, 2);
+  EXPECT_EQ(coin, 1);
+}
+
+TEST_F(NetworkTest, BroadcastReachesEveryoneIncludingSelf) {
+  int delivered = 0;
+  for (ProcessId p = 0; p < 4; ++p) {
+    net_.subscribe(p, Channel::kApp, [&](ProcessId, BytesView) { ++delivered; });
+  }
+  net_.broadcast(2, Channel::kApp, Bytes{9});
+  sim_.run();
+  EXPECT_EQ(delivered, 4);
+}
+
+TEST_F(NetworkTest, TrafficAccounting) {
+  net_.subscribe(1, Channel::kApp, [](ProcessId, BytesView) {});
+  net_.send(0, 1, Channel::kApp, Bytes(100, 0));
+  net_.send(0, 1, Channel::kApp, Bytes(50, 0));
+  sim_.run();
+  EXPECT_EQ(net_.traffic(0).messages_sent, 2u);
+  EXPECT_EQ(net_.traffic(0).bytes_sent, 150u);
+  EXPECT_EQ(net_.traffic(1).messages_delivered, 2u);
+  EXPECT_EQ(net_.traffic(1).bytes_delivered, 150u);
+  EXPECT_EQ(net_.total_bytes_sent(), 150u);
+  net_.reset_traffic();
+  EXPECT_EQ(net_.total_bytes_sent(), 0u);
+}
+
+TEST_F(NetworkTest, HonestBytesExcludeCorrupted) {
+  net_.subscribe(1, Channel::kApp, [](ProcessId, BytesView) {});
+  net_.send(0, 1, Channel::kApp, Bytes(100, 0));
+  net_.send(3, 1, Channel::kApp, Bytes(40, 0));
+  sim_.run();
+  net_.corrupt(3);
+  EXPECT_EQ(net_.total_bytes_sent(), 140u);
+  EXPECT_EQ(net_.total_honest_bytes_sent(), 100u);
+}
+
+TEST_F(NetworkTest, CrashedProcessNeitherSendsNorReceives) {
+  int got = 0;
+  net_.subscribe(1, Channel::kApp, [&](ProcessId, BytesView) { ++got; });
+  net_.subscribe(2, Channel::kApp, [&](ProcessId, BytesView) { ++got; });
+  net_.crash(2);
+  net_.send(2, 1, Channel::kApp, Bytes{1});  // from crashed: dropped
+  net_.send(0, 2, Channel::kApp, Bytes{2});  // to crashed: dropped
+  net_.send(0, 1, Channel::kApp, Bytes{3});  // unrelated: delivered
+  sim_.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetworkTest, AdaptiveCorruptionDropsInFlightMessages) {
+  // The paper's adversary: once it corrupts a process, it can drop messages
+  // that process sent but that have not yet been delivered.
+  int got = 0;
+  net_.subscribe(1, Channel::kApp, [&](ProcessId, BytesView) { ++got; });
+  net_.send(0, 1, Channel::kApp, Bytes{1});  // in flight
+  net_.corrupt(0);                           // corrupt before delivery
+  sim_.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetworkTest, MessagesDeliveredBeforeCorruptionSurvive) {
+  int got = 0;
+  net_.subscribe(1, Channel::kApp, [&](ProcessId, BytesView) { ++got; });
+  net_.send(0, 1, Channel::kApp, Bytes{1});
+  sim_.run();  // delivered
+  net_.corrupt(0);
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetworkTest, CorruptionBudgetEnforced) {
+  net_.corrupt(0);
+  EXPECT_DEATH(net_.corrupt(1), "corruption budget");
+}
+
+TEST(DelayModels, FixedSetDelaysVictims) {
+  Xoshiro256 rng(1);
+  FixedSetDelay d({0}, /*fast=*/10, /*slow=*/1000);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_GE(d.delay(0, 1, Channel::kApp, 10, 0, rng), 1000u);
+    EXPECT_LE(d.delay(1, 0, Channel::kApp, 10, 0, rng), 11u);
+  }
+  EXPECT_GE(d.max_delay(), 1000u);
+}
+
+TEST(DelayModels, RotatingDelayMovesVictimSet) {
+  Xoshiro256 rng(1);
+  RotatingDelay d(4, 1, /*period=*/100, /*fast=*/10, /*slow=*/1000);
+  // Phase 0: victim is process 0. Phase 1: victim is process 1.
+  EXPECT_GE(d.delay(0, 1, Channel::kApp, 10, /*now=*/0, rng), 1000u);
+  EXPECT_LE(d.delay(1, 0, Channel::kApp, 10, /*now=*/0, rng), 11u);
+  EXPECT_GE(d.delay(1, 0, Channel::kApp, 10, /*now=*/100, rng), 1000u);
+  EXPECT_LE(d.delay(0, 1, Channel::kApp, 10, /*now=*/100, rng), 11u);
+}
+
+TEST(DelayModels, PartitionHealsAtHealTime) {
+  Xoshiro256 rng(1);
+  PartitionDelay d({0, 1}, /*heal=*/1000, /*fast=*/10, /*extra=*/50);
+  // Cross-partition before heal: delivery lands after the heal time.
+  const SimTime cross = d.delay(0, 2, Channel::kApp, 10, /*now=*/0, rng);
+  EXPECT_GE(cross, 1000u);
+  // Same side: fast.
+  EXPECT_LE(d.delay(0, 1, Channel::kApp, 10, /*now=*/0, rng), 11u);
+  // After heal: fast everywhere.
+  EXPECT_LE(d.delay(0, 2, Channel::kApp, 10, /*now=*/2000, rng), 11u);
+}
+
+TEST(DelayModels, TargetedDelayRetargets) {
+  Xoshiro256 rng(1);
+  TargetedDelay d(/*fast=*/10, /*slow=*/1000);
+  EXPECT_LE(d.delay(2, 0, Channel::kApp, 10, 0, rng), 11u);
+  d.add_victim(2);
+  EXPECT_GE(d.delay(2, 0, Channel::kApp, 10, 0, rng), 1000u);
+  d.clear_victims();
+  EXPECT_LE(d.delay(2, 0, Channel::kApp, 10, 0, rng), 11u);
+}
+
+}  // namespace
+}  // namespace dr::sim

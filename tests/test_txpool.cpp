@@ -1,0 +1,148 @@
+// Tests: transaction blocks, mempool semantics, and the end-to-end client
+// workload (submit -> batch -> BAB -> latency accounting).
+#include <gtest/gtest.h>
+
+#include "txpool/client.hpp"
+#include "txpool/mempool.hpp"
+
+namespace dr::txpool {
+namespace {
+
+Transaction make_tx(std::uint64_t id, std::size_t size = 8) {
+  Transaction tx;
+  tx.id = id;
+  tx.submit_time = id * 10;
+  tx.payload.assign(size, static_cast<std::uint8_t>(id));
+  return tx;
+}
+
+TEST(TxBlock, EncodeDecodeRoundTrip) {
+  std::vector<Transaction> txs;
+  for (std::uint64_t i = 1; i <= 5; ++i) txs.push_back(make_tx(i, 16 + i));
+  const Bytes block = encode_block(txs);
+  auto back = decode_block(block);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(back.value()[i].id, txs[i].id);
+    EXPECT_EQ(back.value()[i].submit_time, txs[i].submit_time);
+    EXPECT_EQ(back.value()[i].payload, txs[i].payload);
+  }
+}
+
+TEST(TxBlock, EmptyBlockRoundTrips) {
+  const Bytes block = encode_block({});
+  auto back = decode_block(block);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(TxBlock, RejectsForeignBytes) {
+  EXPECT_FALSE(decode_block(Bytes{}).ok());
+  EXPECT_FALSE(decode_block(Bytes{1, 2, 3, 4}).ok());
+  EXPECT_FALSE(decode_block(Bytes(64, 0xAB)).ok());  // auto-block filler
+  // Truncated real block.
+  Bytes block = encode_block({make_tx(1)});
+  block.resize(block.size() - 3);
+  EXPECT_FALSE(decode_block(block).ok());
+}
+
+TEST(Mempool, FifoBatchingAndDedup) {
+  Mempool pool;
+  for (std::uint64_t i = 1; i <= 10; ++i) EXPECT_TRUE(pool.submit(make_tx(i)));
+  EXPECT_FALSE(pool.submit(make_tx(3)));  // duplicate
+  EXPECT_EQ(pool.rejected_duplicates(), 1u);
+  EXPECT_EQ(pool.pending(), 10u);
+
+  auto block = decode_block(pool.next_block(4));
+  ASSERT_TRUE(block.ok());
+  ASSERT_EQ(block.value().size(), 4u);
+  EXPECT_EQ(block.value()[0].id, 1u);  // FIFO
+  EXPECT_EQ(block.value()[3].id, 4u);
+  EXPECT_EQ(pool.pending(), 6u);
+}
+
+TEST(Mempool, OverflowBackpressure) {
+  Mempool pool(3);
+  for (std::uint64_t i = 1; i <= 3; ++i) EXPECT_TRUE(pool.submit(make_tx(i)));
+  EXPECT_FALSE(pool.submit(make_tx(4)));
+  EXPECT_EQ(pool.rejected_overflow(), 1u);
+}
+
+TEST(Mempool, DeliveredTransactionsAreNotReproposed) {
+  Mempool pool;
+  for (std::uint64_t i = 1; i <= 6; ++i) pool.submit(make_tx(i));
+  // Transactions 2 and 3 get ordered via another process's block.
+  pool.observe_delivered({make_tx(2), make_tx(3)});
+  auto block = decode_block(pool.next_block(10));
+  ASSERT_TRUE(block.ok());
+  std::vector<std::uint64_t> ids;
+  for (const auto& tx : block.value()) ids.push_back(tx.id);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 4, 5, 6}));
+  // And a delivered id cannot be resubmitted either.
+  EXPECT_FALSE(pool.submit(make_tx(2)));
+}
+
+TEST(Mempool, EmptyPoolYieldsEmptyBlock) {
+  Mempool pool;
+  EXPECT_TRUE(pool.next_block(5).empty());
+  pool.submit(make_tx(1));
+  pool.observe_delivered({make_tx(1)});
+  EXPECT_TRUE(pool.next_block(5).empty());  // everything already delivered
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end workload over the full stack.
+
+TEST(ClientSwarm, TransactionsCommitWithMeasuredLatency) {
+  core::SystemConfig cfg;
+  cfg.committee = Committee::for_f(1);
+  cfg.seed = 17;
+  cfg.rbc_kind = rbc::RbcKind::kBracha;
+  cfg.builder.auto_blocks = true;  // pad rounds when pools run dry
+  cfg.builder.auto_block_size = 0;
+  core::System sys(std::move(cfg));
+
+  WorkloadConfig wl;
+  wl.tx_per_tick = 0.2;
+  wl.tx_payload = 32;
+  wl.batch_max = 16;
+  ClientSwarm swarm(sys, wl, 5);
+  sys.start();
+  swarm.start();
+
+  ASSERT_TRUE(sys.simulator().run_until(
+      [&] { return swarm.committed() >= 100; }, 30'000'000));
+  EXPECT_GE(swarm.submitted(), swarm.committed());
+  EXPECT_EQ(swarm.latency().count(), swarm.committed());
+  EXPECT_GT(swarm.latency().mean(), 0.0);
+  // Sanity: p95 latency is some small multiple of a wave.
+  EXPECT_LT(swarm.latency().percentile(0.95), 30'000.0);
+}
+
+TEST(ClientSwarm, RedundantSubmissionCommitsOnceDespiteCrash) {
+  core::SystemConfig cfg;
+  cfg.committee = Committee::for_f(1);
+  cfg.seed = 18;
+  cfg.rbc_kind = rbc::RbcKind::kOracle;
+  cfg.builder.auto_blocks = true;
+  cfg.builder.auto_block_size = 0;
+  cfg.faults.assign(4, core::FaultKind::kNone);
+  cfg.faults[3] = core::FaultKind::kCrash;
+  core::System sys(std::move(cfg));
+
+  WorkloadConfig wl;
+  wl.tx_per_tick = 0.1;
+  wl.submit_copies = 2;  // each tx lands at 2 processes
+  ClientSwarm swarm(sys, wl, 6);
+  sys.start();
+  swarm.start();
+  ASSERT_TRUE(sys.simulator().run_until(
+      [&] { return swarm.committed() >= 50; }, 30'000'000));
+  // Unique commits never exceed submissions (no double counting of the
+  // redundant copy).
+  EXPECT_LE(swarm.committed(), swarm.submitted());
+}
+
+}  // namespace
+}  // namespace dr::txpool
