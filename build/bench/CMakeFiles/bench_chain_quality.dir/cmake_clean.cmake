@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_quality.dir/bench_chain_quality.cpp.o"
+  "CMakeFiles/bench_chain_quality.dir/bench_chain_quality.cpp.o.d"
+  "bench_chain_quality"
+  "bench_chain_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

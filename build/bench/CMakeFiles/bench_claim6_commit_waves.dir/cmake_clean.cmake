@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim6_commit_waves.dir/bench_claim6_commit_waves.cpp.o"
+  "CMakeFiles/bench_claim6_commit_waves.dir/bench_claim6_commit_waves.cpp.o.d"
+  "bench_claim6_commit_waves"
+  "bench_claim6_commit_waves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim6_commit_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

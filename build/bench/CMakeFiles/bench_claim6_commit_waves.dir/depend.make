@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_claim6_commit_waves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_commit_rule.dir/bench_fig2_commit_rule.cpp.o"
+  "CMakeFiles/bench_fig2_commit_rule.dir/bench_fig2_commit_rule.cpp.o.d"
+  "bench_fig2_commit_rule"
+  "bench_fig2_commit_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_commit_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_scaling.dir/bench_latency_scaling.cpp.o"
+  "CMakeFiles/bench_latency_scaling.dir/bench_latency_scaling.cpp.o.d"
+  "bench_latency_scaling"
+  "bench_latency_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

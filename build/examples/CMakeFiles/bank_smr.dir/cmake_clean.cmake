@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_smr.dir/bank_smr.cpp.o"
+  "CMakeFiles/bank_smr.dir/bank_smr.cpp.o.d"
+  "bank_smr"
+  "bank_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dag_explorer.cpp" "examples/CMakeFiles/dag_explorer.dir/dag_explorer.cpp.o" "gcc" "examples/CMakeFiles/dag_explorer.dir/dag_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/coin/CMakeFiles/dr_coin.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dr_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbc/CMakeFiles/dr_rbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

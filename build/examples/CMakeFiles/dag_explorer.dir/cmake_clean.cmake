@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_explorer.dir/dag_explorer.cpp.o"
+  "CMakeFiles/dag_explorer.dir/dag_explorer.cpp.o.d"
+  "dag_explorer"
+  "dag_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

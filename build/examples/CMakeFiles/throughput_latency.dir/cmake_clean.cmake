@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_latency.dir/throughput_latency.cpp.o"
+  "CMakeFiles/throughput_latency.dir/throughput_latency.cpp.o.d"
+  "throughput_latency"
+  "throughput_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

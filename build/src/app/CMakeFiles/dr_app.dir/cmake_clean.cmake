@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_app.dir/kvstore.cpp.o"
+  "CMakeFiles/dr_app.dir/kvstore.cpp.o.d"
+  "CMakeFiles/dr_app.dir/replicated.cpp.o"
+  "CMakeFiles/dr_app.dir/replicated.cpp.o.d"
+  "libdr_app.a"
+  "libdr_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

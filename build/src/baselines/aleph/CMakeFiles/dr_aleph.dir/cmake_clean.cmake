@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_aleph.dir/aleph.cpp.o"
+  "CMakeFiles/dr_aleph.dir/aleph.cpp.o.d"
+  "libdr_aleph.a"
+  "libdr_aleph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_aleph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

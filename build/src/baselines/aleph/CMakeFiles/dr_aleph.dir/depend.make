@@ -1,0 +1,2 @@
+# Empty dependencies file for dr_aleph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bba/binary_agreement.cpp" "src/baselines/bba/CMakeFiles/dr_bba.dir/binary_agreement.cpp.o" "gcc" "src/baselines/bba/CMakeFiles/dr_bba.dir/binary_agreement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coin/CMakeFiles/dr_coin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_bba.dir/binary_agreement.cpp.o"
+  "CMakeFiles/dr_bba.dir/binary_agreement.cpp.o.d"
+  "libdr_bba.a"
+  "libdr_bba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_bba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

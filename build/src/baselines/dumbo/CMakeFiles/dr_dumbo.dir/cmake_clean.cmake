@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_dumbo.dir/dumbo.cpp.o"
+  "CMakeFiles/dr_dumbo.dir/dumbo.cpp.o.d"
+  "libdr_dumbo.a"
+  "libdr_dumbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_dumbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_smr.dir/slot_smr.cpp.o"
+  "CMakeFiles/dr_smr.dir/slot_smr.cpp.o.d"
+  "libdr_smr.a"
+  "libdr_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_vaba.dir/vaba.cpp.o"
+  "CMakeFiles/dr_vaba.dir/vaba.cpp.o.d"
+  "libdr_vaba.a"
+  "libdr_vaba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_vaba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

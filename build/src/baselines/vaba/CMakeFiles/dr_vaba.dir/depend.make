@@ -1,0 +1,2 @@
+# Empty dependencies file for dr_vaba.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_coin.dir/threshold_coin.cpp.o"
+  "CMakeFiles/dr_coin.dir/threshold_coin.cpp.o.d"
+  "libdr_coin.a"
+  "libdr_coin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_common.dir/bytes.cpp.o"
+  "CMakeFiles/dr_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dr_common.dir/log.cpp.o"
+  "CMakeFiles/dr_common.dir/log.cpp.o.d"
+  "libdr_common.a"
+  "libdr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_core.dir/byzantine.cpp.o"
+  "CMakeFiles/dr_core.dir/byzantine.cpp.o.d"
+  "CMakeFiles/dr_core.dir/dag_rider.cpp.o"
+  "CMakeFiles/dr_core.dir/dag_rider.cpp.o.d"
+  "CMakeFiles/dr_core.dir/system.cpp.o"
+  "CMakeFiles/dr_core.dir/system.cpp.o.d"
+  "libdr_core.a"
+  "libdr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/gf256.cpp" "src/crypto/CMakeFiles/dr_crypto.dir/gf256.cpp.o" "gcc" "src/crypto/CMakeFiles/dr_crypto.dir/gf256.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/dr_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/dr_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/reed_solomon.cpp" "src/crypto/CMakeFiles/dr_crypto.dir/reed_solomon.cpp.o" "gcc" "src/crypto/CMakeFiles/dr_crypto.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/dr_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/dr_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/crypto/CMakeFiles/dr_crypto.dir/shamir.cpp.o" "gcc" "src/crypto/CMakeFiles/dr_crypto.dir/shamir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

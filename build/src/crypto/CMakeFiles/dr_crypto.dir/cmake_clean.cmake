@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_crypto.dir/gf256.cpp.o"
+  "CMakeFiles/dr_crypto.dir/gf256.cpp.o.d"
+  "CMakeFiles/dr_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/dr_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/dr_crypto.dir/reed_solomon.cpp.o"
+  "CMakeFiles/dr_crypto.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/dr_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/dr_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/dr_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/dr_crypto.dir/shamir.cpp.o.d"
+  "libdr_crypto.a"
+  "libdr_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

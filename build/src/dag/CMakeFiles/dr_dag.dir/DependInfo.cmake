@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/builder.cpp" "src/dag/CMakeFiles/dr_dag.dir/builder.cpp.o" "gcc" "src/dag/CMakeFiles/dr_dag.dir/builder.cpp.o.d"
+  "/root/repo/src/dag/dag.cpp" "src/dag/CMakeFiles/dr_dag.dir/dag.cpp.o" "gcc" "src/dag/CMakeFiles/dr_dag.dir/dag.cpp.o.d"
+  "/root/repo/src/dag/vertex.cpp" "src/dag/CMakeFiles/dr_dag.dir/vertex.cpp.o" "gcc" "src/dag/CMakeFiles/dr_dag.dir/vertex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbc/CMakeFiles/dr_rbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

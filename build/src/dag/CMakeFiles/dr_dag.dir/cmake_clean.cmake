@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_dag.dir/builder.cpp.o"
+  "CMakeFiles/dr_dag.dir/builder.cpp.o.d"
+  "CMakeFiles/dr_dag.dir/dag.cpp.o"
+  "CMakeFiles/dr_dag.dir/dag.cpp.o.d"
+  "CMakeFiles/dr_dag.dir/vertex.cpp.o"
+  "CMakeFiles/dr_dag.dir/vertex.cpp.o.d"
+  "libdr_dag.a"
+  "libdr_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

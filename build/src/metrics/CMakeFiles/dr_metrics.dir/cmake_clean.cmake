@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_metrics.dir/table.cpp.o"
+  "CMakeFiles/dr_metrics.dir/table.cpp.o.d"
+  "libdr_metrics.a"
+  "libdr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rbc/avid.cpp" "src/rbc/CMakeFiles/dr_rbc.dir/avid.cpp.o" "gcc" "src/rbc/CMakeFiles/dr_rbc.dir/avid.cpp.o.d"
+  "/root/repo/src/rbc/avid_dispersal.cpp" "src/rbc/CMakeFiles/dr_rbc.dir/avid_dispersal.cpp.o" "gcc" "src/rbc/CMakeFiles/dr_rbc.dir/avid_dispersal.cpp.o.d"
+  "/root/repo/src/rbc/bracha.cpp" "src/rbc/CMakeFiles/dr_rbc.dir/bracha.cpp.o" "gcc" "src/rbc/CMakeFiles/dr_rbc.dir/bracha.cpp.o.d"
+  "/root/repo/src/rbc/bracha_hash.cpp" "src/rbc/CMakeFiles/dr_rbc.dir/bracha_hash.cpp.o" "gcc" "src/rbc/CMakeFiles/dr_rbc.dir/bracha_hash.cpp.o.d"
+  "/root/repo/src/rbc/gossip.cpp" "src/rbc/CMakeFiles/dr_rbc.dir/gossip.cpp.o" "gcc" "src/rbc/CMakeFiles/dr_rbc.dir/gossip.cpp.o.d"
+  "/root/repo/src/rbc/oracle.cpp" "src/rbc/CMakeFiles/dr_rbc.dir/oracle.cpp.o" "gcc" "src/rbc/CMakeFiles/dr_rbc.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dr_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

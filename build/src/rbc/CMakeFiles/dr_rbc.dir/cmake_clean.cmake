@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_rbc.dir/avid.cpp.o"
+  "CMakeFiles/dr_rbc.dir/avid.cpp.o.d"
+  "CMakeFiles/dr_rbc.dir/avid_dispersal.cpp.o"
+  "CMakeFiles/dr_rbc.dir/avid_dispersal.cpp.o.d"
+  "CMakeFiles/dr_rbc.dir/bracha.cpp.o"
+  "CMakeFiles/dr_rbc.dir/bracha.cpp.o.d"
+  "CMakeFiles/dr_rbc.dir/bracha_hash.cpp.o"
+  "CMakeFiles/dr_rbc.dir/bracha_hash.cpp.o.d"
+  "CMakeFiles/dr_rbc.dir/gossip.cpp.o"
+  "CMakeFiles/dr_rbc.dir/gossip.cpp.o.d"
+  "CMakeFiles/dr_rbc.dir/oracle.cpp.o"
+  "CMakeFiles/dr_rbc.dir/oracle.cpp.o.d"
+  "libdr_rbc.a"
+  "libdr_rbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_rbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_sim.dir/network.cpp.o"
+  "CMakeFiles/dr_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dr_sim.dir/simulator.cpp.o.d"
+  "libdr_sim.a"
+  "libdr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

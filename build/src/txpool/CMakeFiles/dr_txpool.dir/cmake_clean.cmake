@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_txpool.dir/client.cpp.o"
+  "CMakeFiles/dr_txpool.dir/client.cpp.o.d"
+  "CMakeFiles/dr_txpool.dir/mempool.cpp.o"
+  "CMakeFiles/dr_txpool.dir/mempool.cpp.o.d"
+  "libdr_txpool.a"
+  "libdr_txpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_txpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dr_txpool.
+# This may be replaced when dependencies are built.

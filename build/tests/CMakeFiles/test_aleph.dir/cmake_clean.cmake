@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aleph.dir/test_aleph.cpp.o"
+  "CMakeFiles/test_aleph.dir/test_aleph.cpp.o.d"
+  "test_aleph"
+  "test_aleph.pdb"
+  "test_aleph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aleph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

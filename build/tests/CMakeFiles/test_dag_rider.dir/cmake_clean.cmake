@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_rider.dir/test_dag_rider.cpp.o"
+  "CMakeFiles/test_dag_rider.dir/test_dag_rider.cpp.o.d"
+  "test_dag_rider"
+  "test_dag_rider.pdb"
+  "test_dag_rider[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_rider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
