@@ -63,7 +63,7 @@ void wave_length_ablation() {
                metrics::Table::fmt(tpc.mean(), 1),
                metrics::Table::fmt(dpc.mean(), 1)});
   }
-  t.print();
+  emit(t);
   std::printf(
       "Reading: longer waves deliver more blocks per commit at higher\n"
       "latency per commit; the direct-commit rate stays high for ALL wave\n"
@@ -97,7 +97,7 @@ void coin_transport_ablation() {
                    sys.network().channel_bytes_sent(sim::Channel::kCoin)),
                ok ? metrics::Table::fmt_u64(sys.simulator().now()) : "stall"});
   }
-  t.print();
+  emit(t);
   std::printf(
       "Reading: piggybacking (paper footnote 1) removes the coin channel and\n"
       "message type entirely — an architectural simplification, not a byte\n"
@@ -133,7 +133,7 @@ void weak_edge_ablation() {
     t.add_row({weak ? "on (paper)" : "off (ablated)",
                metrics::Table::fmt_u64(slow), metrics::Table::fmt_u64(fast)});
   }
-  t.print();
+  emit(t);
   std::printf(
       "Reading: with weak edges the slow-but-correct process's blocks are\n"
       "ordered (later, but ordered); without them it is starved — weak edges\n"
@@ -186,7 +186,7 @@ void coin_unpredictability_ablation() {
                metrics::Table::fmt_u64(sys.node(0).rider().decided_wave()),
                metrics::Table::fmt_u64(sys.node(0).rider().delivered_count())});
   }
-  t.print();
+  emit(t);
   std::printf(
       "Reading: with the same delay budget, the blind adversary cannot stop\n"
       "commits (leaders are drawn AFTER waves complete), while a coin-\n"
@@ -198,11 +198,13 @@ void coin_unpredictability_ablation() {
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::print_header("ABL", "design ablations");
   dr::bench::wave_length_ablation();
   dr::bench::coin_transport_ablation();
   dr::bench::weak_edge_ablation();
   dr::bench::coin_unpredictability_ablation();
+  dr::bench::bench_finish();
   return 0;
 }

@@ -60,7 +60,7 @@ void run() {
                std::to_string(log.size()), metrics::Table::fmt(min_share, 3),
                metrics::Table::fmt(bound, 3)});
   }
-  t.print();
+  emit(t);
   std::printf(
       "\nReading: the minimum correct share across all (2f+1)r prefixes sits\n"
       "at or above (f+1)/(2f+1) — the chain-quality remark of §3.\n");
@@ -69,7 +69,9 @@ void run() {
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::run();
+  dr::bench::bench_finish();
   return 0;
 }

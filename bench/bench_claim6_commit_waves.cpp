@@ -75,7 +75,7 @@ void run() {
                ">= 2/3 - eps", metrics::Table::fmt(r.mean_gap.mean(), 3),
                metrics::Table::fmt(r.mean_gap.percentile(0.95), 2)});
   }
-  t.print();
+  emit(t);
 
   std::printf("\ncommit-gap histogram (waves between commits, rotating scheduler):\n");
   for (const auto& [gap, count] : rows[1].gap_histogram) {
@@ -92,7 +92,9 @@ void run() {
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::run();
+  dr::bench::bench_finish();
   return 0;
 }

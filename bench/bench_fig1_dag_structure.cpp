@@ -94,13 +94,15 @@ void run() {
   t.add_row({"weak edges (slow process 4 rescued)",
              metrics::Table::fmt_u64(weak_edge_count)});
   t.add_row({"structure invariants", ok ? "all hold" : "VIOLATED"});
-  t.print();
+  emit(t);
 }
 
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::run();
+  dr::bench::bench_finish();
   return 0;
 }

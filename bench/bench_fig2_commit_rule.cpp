@@ -104,7 +104,7 @@ void run() {
              metrics::Table::fmt_u64(stats.failed_direct -
                                      stats.transitive_recoveries)});
   t.add_row({"wave-order violations", metrics::Table::fmt_u64(stats.order_violations)});
-  t.print();
+  emit(t);
   std::printf(
       "\nReading: a wave that fails its local commit rule is either (a)\n"
       "recovered transitively via the strong path from a later committed\n"
@@ -116,7 +116,9 @@ void run() {
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::run();
+  dr::bench::bench_finish();
   return 0;
 }

@@ -58,12 +58,12 @@ void run() {
   print_header("LAT", "commit latency (time units per committed wave) vs n");
 
   std::vector<std::string> headers{"scenario"};
-  for (std::uint32_t n : kSweepN) headers.push_back("n=" + std::to_string(n));
+  for (std::uint32_t n : sweep_n()) headers.push_back("n=" + std::to_string(n));
   metrics::Table t(std::move(headers));
 
   auto sweep = [&](const char* name, bool crash, bool adv) {
     std::vector<std::string> cells{name};
-    for (std::uint32_t n : kSweepN) {
+    for (std::uint32_t n : sweep_n()) {
       metrics::Summary s;
       for (std::uint64_t seed = 1; seed <= 4; ++seed) {
         const double v = commit_latency(n, seed * 31, crash, adv);
@@ -77,7 +77,7 @@ void run() {
   sweep("fault-free, uniform delays", false, false);
   sweep("f crashed", true, false);
   sweep("rotating adversary", false, true);
-  t.print();
+  emit(t);
   std::printf(
       "\nReading: rows stay ~flat across n (O(1) expected time complexity),\n"
       "with a constant-factor penalty for crashes/adversarial scheduling.\n");
@@ -86,7 +86,9 @@ void run() {
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::run();
+  dr::bench::bench_finish();
   return 0;
 }

@@ -152,4 +152,30 @@ BENCHMARK(BM_DagCommitRuleSupport)->Arg(4)->Arg(10)->Arg(31);
 }  // namespace
 }  // namespace dr
 
-BENCHMARK_MAIN();
+// Same CLI contract as the table benches: --json <path> (mapped onto the
+// library's JSON reporter) and --smoke (minimal per-benchmark runtime).
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      args.emplace_back("--benchmark_out_format=json");
+    } else if (a == "--smoke") {
+      args.emplace_back("--benchmark_min_time=0.005");
+    } else {
+      args.push_back(a);
+    }
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (auto& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  ::benchmark::Initialize(&cargc, cargv.data());
+  if (::benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

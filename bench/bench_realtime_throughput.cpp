@@ -1,0 +1,150 @@
+// RT — real-concurrency throughput/latency of the threaded node runtime
+// (src/node/) over the in-process transport: commits/sec and end-to-end
+// transaction latency percentiles vs committee size and block size. Unlike
+// every other bench in this directory, nothing here is simulated — these are
+// OS threads on real clocks, so absolute numbers depend on the host (and on
+// sanitizers; CI runs this in --smoke mode only as a liveness check).
+//
+// Latency is measured client-to-commit: submit stamps the transaction with
+// node 0's clock, and delivery at node 0 records the difference, so no
+// cross-node clock skew enters the measurement.
+#include <atomic>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "core/audit.hpp"
+#include "node/cluster.hpp"
+#include "txpool/transaction.hpp"
+
+namespace dr::bench {
+namespace {
+
+struct RealtimeRun {
+  double txs_per_sec = 0;
+  double commits_per_sec = 0;
+  double blocks_per_sec = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  bool ok = false;
+};
+
+RealtimeRun run_cluster(std::uint32_t n, std::size_t block_max_txs,
+                        std::uint64_t total_txs, std::size_t tx_payload) {
+  node::NodeOptions opts;
+  opts.seed = 1234;
+  opts.block_max_txs = block_max_txs;
+  Committee committee = Committee::for_n(n);
+  node::Cluster cluster(committee, opts);
+
+  // Latency samples and completion tracking, fed by node 0's deliver hook.
+  metrics::Summary latency_ms;
+  std::mutex lat_mu;
+  std::atomic<std::uint64_t> txs_done{0};
+  node::Node& probe = cluster.node(0);
+  probe.set_app_deliver([&](const Bytes& block, Round, ProcessId,
+                            std::uint64_t t_us) {
+    auto txs = txpool::decode_block(BytesView(block));
+    if (!txs.ok()) return;
+    std::lock_guard<std::mutex> lk(lat_mu);
+    for (const auto& tx : txs.value()) {
+      latency_ms.add(static_cast<double>(t_us - tx.submit_time) / 1000.0);
+    }
+    txs_done.fetch_add(txs.value().size(), std::memory_order_relaxed);
+  });
+
+  cluster.start();
+  const std::uint64_t t_start = probe.now_us();
+
+  for (std::uint64_t id = 1; id <= total_txs; ++id) {
+    txpool::Transaction tx;
+    tx.id = id;
+    tx.submit_time = probe.now_us();
+    tx.payload = Bytes(tx_payload, static_cast<std::uint8_t>(id));
+    cluster.node(static_cast<ProcessId>(id % n)).submit(std::move(tx));
+  }
+
+  RealtimeRun out;
+  if (!cluster.wait_all_delivered(1, std::chrono::minutes(2))) {
+    cluster.stop();
+    return out;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(3);
+  while (txs_done.load(std::memory_order_relaxed) < total_txs) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      cluster.stop();
+      return out;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::uint64_t t_end = probe.now_us();
+  const std::uint64_t commits = probe.commits_snapshot().size();
+  const std::uint64_t blocks = probe.delivered_count();
+  cluster.stop();
+
+  const auto violation =
+      core::audit_logs(cluster.delivered_logs(), cluster.commit_logs());
+  if (violation.has_value()) {
+    std::fprintf(stderr, "RT AUDIT FAILURE: %s\n", violation->c_str());
+    return out;
+  }
+
+  const double secs = static_cast<double>(t_end - t_start) / 1e6;
+  out.txs_per_sec = static_cast<double>(total_txs) / secs;
+  out.commits_per_sec = static_cast<double>(commits) / secs;
+  out.blocks_per_sec = static_cast<double>(blocks) / secs;
+  {
+    std::lock_guard<std::mutex> lk(lat_mu);
+    out.p50_ms = latency_ms.percentile(0.50);
+    out.p99_ms = latency_ms.percentile(0.99);
+  }
+  out.ok = true;
+  return out;
+}
+
+void sweep_committee_size() {
+  const std::uint64_t total = smoke() ? 2'000 : 20'000;
+  metrics::Table t({"n", "txs/s", "blocks/s", "commits/s", "p50 ms", "p99 ms"});
+  for (std::uint32_t n : std::vector<std::uint32_t>{4, 7, 10}) {
+    if (smoke() && n > 4) continue;
+    const RealtimeRun r = run_cluster(n, /*block_max_txs=*/256, total,
+                                      /*tx_payload=*/32);
+    t.add_row({std::to_string(n),
+               r.ok ? metrics::Table::fmt(r.txs_per_sec, 0) : "stall",
+               metrics::Table::fmt(r.blocks_per_sec, 0),
+               metrics::Table::fmt(r.commits_per_sec, 1),
+               metrics::Table::fmt(r.p50_ms, 2),
+               metrics::Table::fmt(r.p99_ms, 2)});
+  }
+  emit(t);
+}
+
+void sweep_block_size() {
+  const std::uint64_t total = smoke() ? 2'000 : 20'000;
+  metrics::Table t(
+      {"txs/block", "txs/s", "blocks/s", "commits/s", "p50 ms", "p99 ms"});
+  for (std::size_t b : std::vector<std::size_t>{64, 256, 1024}) {
+    if (smoke() && b > 64) continue;
+    const RealtimeRun r = run_cluster(4, b, total, /*tx_payload=*/32);
+    t.add_row({std::to_string(b),
+               r.ok ? metrics::Table::fmt(r.txs_per_sec, 0) : "stall",
+               metrics::Table::fmt(r.blocks_per_sec, 0),
+               metrics::Table::fmt(r.commits_per_sec, 1),
+               metrics::Table::fmt(r.p50_ms, 2),
+               metrics::Table::fmt(r.p99_ms, 2)});
+  }
+  emit(t);
+}
+
+}  // namespace
+}  // namespace dr::bench
+
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
+  dr::bench::print_header(
+      "RT", "real-concurrency runtime: commits/sec and tx latency (in-proc)");
+  dr::bench::sweep_committee_size();
+  dr::bench::sweep_block_size();
+  dr::bench::bench_finish();
+  return 0;
+}

@@ -128,7 +128,7 @@ void run() {
                r.ok ? metrics::Table::fmt(r.time_per_round, 0) : "-",
                r_slow.ok ? (r_slow.starved ? "no" : "yes (weak edges)") : "stall"});
   }
-  t.print();
+  emit(t);
   std::printf(
       "\nBoth systems run the same DAG substrate (oracle broadcast, 64B\n"
       "blocks); the delta is pure ordering cost. Reading: Aleph pays n BBAs\n"
@@ -140,7 +140,9 @@ void run() {
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::run();
+  dr::bench::bench_finish();
   return 0;
 }

@@ -86,7 +86,7 @@ void run() {
     return s.mean();
   };
 
-  for (std::uint32_t n : kSweepN) {
+  for (std::uint32_t n : sweep_n()) {
     // The paper's amortization: batch O(n) values per block/batch.
     const std::uint32_t batch = n;
     rows[0].measured.push_back(avg([&](std::uint64_t seed) {
@@ -114,11 +114,11 @@ void run() {
   }
 
   std::vector<std::string> headers{"protocol", "paper"};
-  for (std::uint32_t n : kSweepN) headers.push_back("n=" + std::to_string(n));
+  for (std::uint32_t n : sweep_n()) headers.push_back("n=" + std::to_string(n));
   headers.push_back("growth(meas)");
   headers.push_back("growth(pred)");
   metrics::Table table(std::move(headers));
-  const double n0 = kSweepN.front(), n1 = kSweepN.back();
+  const double n0 = sweep_n().front(), n1 = sweep_n().back();
   for (const Row& r : rows) {
     std::vector<std::string> cells{r.name, r.paper_complexity};
     for (double v : r.measured) cells.push_back(metrics::Table::fmt(v, 0));
@@ -126,7 +126,7 @@ void run() {
     cells.push_back(metrics::Table::fmt(r.predicted_growth(n0, n1), 1) + "x");
     table.add_row(std::move(cells));
   }
-  table.print();
+  emit(table);
   std::printf(
       "\nReading: growth(meas) ~ growth(pred) per row reproduces the column;\n"
       "AVID & Dumbo stay near-linear while Bracha & VABA grow ~quadratically.\n");
@@ -135,7 +135,9 @@ void run() {
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::run();
+  dr::bench::bench_finish();
   return 0;
 }

@@ -121,7 +121,7 @@ void run() {
     table.add_row({"Dumbo SMR", "no", metrics::Table::fmt(d.ordered_fraction, 2),
                    metrics::Table::fmt(d.starved_processes, 0)});
   }
-  table.print();
+  emit(table);
   std::printf(
       "\nReading: DAG-Rider orders (eventually) every correct proposal — the\n"
       "ordered fraction tracks 1.0 up to pipeline lag and no process is\n"
@@ -132,7 +132,9 @@ void run() {
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::run();
+  dr::bench::bench_finish();
   return 0;
 }

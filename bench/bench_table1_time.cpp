@@ -59,7 +59,7 @@ void run() {
                "from distinct correct processes)");
 
   std::vector<std::string> headers{"protocol", "paper"};
-  for (std::uint32_t n : kSweepN) headers.push_back("n=" + std::to_string(n));
+  for (std::uint32_t n : sweep_n()) headers.push_back("n=" + std::to_string(n));
   headers.push_back("growth n=4->16");
   metrics::Table table(std::move(headers));
 
@@ -69,15 +69,15 @@ void run() {
                    const std::function<double(std::uint32_t, std::uint64_t)>& one) {
     std::vector<std::string> cells{name, paper};
     double first = 0, last = 0;
-    for (std::uint32_t n : kSweepN) {
+    for (std::uint32_t n : sweep_n()) {
       metrics::Summary s;
       for (int seed = 1; seed <= kSeeds; ++seed) {
         const double v = one(n, 1000 + static_cast<std::uint64_t>(seed));
         if (v >= 0) s.add(v);
       }
       cells.push_back(metrics::Table::fmt(s.mean(), 1));
-      if (n == kSweepN.front()) first = s.mean();
-      if (n == kSweepN.back()) last = s.mean();
+      if (n == sweep_n().front()) first = s.mean();
+      if (n == sweep_n().back()) last = s.mean();
     }
     cells.push_back(metrics::Table::fmt(last / first, 2) + "x");
     table.add_row(std::move(cells));
@@ -100,7 +100,7 @@ void run() {
     return smr_time_units_for_n_outputs(n, baselines::SmrBackend::kDumbo, seed);
   });
 
-  table.print();
+  emit(table);
   const double log_growth = std::log(16.0) / std::log(4.0);
   std::printf(
       "\nAll rows share one scheduler: f processes behind a slow link.\n"
@@ -114,7 +114,9 @@ void run() {
 }  // namespace
 }  // namespace dr::bench
 
-int main() {
+int main(int argc, char** argv) {
+  dr::bench::bench_init(argc, argv);
   dr::bench::run();
+  dr::bench::bench_finish();
   return 0;
 }

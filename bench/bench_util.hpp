@@ -2,18 +2,122 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "core/system.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
+#include "sim/network.hpp"
 
 namespace dr::bench {
 
 /// Committee sizes swept by the scaling experiments.
 inline const std::vector<std::uint32_t> kSweepN = {4, 7, 10, 13, 16};
+
+/// Command line shared by every bench binary:
+///   --json <path>   additionally write every emitted table as one JSON doc
+///   --smoke         cut sweeps/workloads down to a CI-sized smoke run
+struct BenchArgs {
+  std::string json_path;
+  bool smoke = false;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      out.json_path = argv[++i];
+    } else if (a == "--smoke") {
+      out.smoke = true;
+    }
+  }
+  return out;
+}
+
+/// Process-wide bench I/O: collects every table emitted under the section id
+/// of the preceding print_header, and flushes them as JSON when --json was
+/// given. Console rendering is unchanged — the JSON sink rides along.
+class BenchIo {
+ public:
+  static BenchIo& instance() {
+    static BenchIo io;
+    return io;
+  }
+
+  void init(int argc, char** argv) { args_ = parse_bench_args(argc, argv); }
+  bool smoke() const { return args_.smoke; }
+  void section(std::string id) { section_ = std::move(id); }
+
+  void emit(const metrics::Table& t) {
+    t.print();
+    tables_.emplace_back(section_.empty() ? "table" : section_, t);
+  }
+
+  /// False when --json was requested but the file could not be written, so
+  /// CI fails instead of silently missing its artifact.
+  bool flush() const {
+    if (args_.json_path.empty()) return true;
+    std::ofstream out(args_.json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", args_.json_path.c_str());
+      return false;
+    }
+    auto esc = [](const std::string& s) {
+      std::string r;
+      for (char c : s) {
+        if (c == '"' || c == '\\') r += '\\';
+        r += c;
+      }
+      return r;
+    };
+    out << "{\n  \"smoke\": " << (args_.smoke ? "true" : "false")
+        << ",\n  \"tables\": [\n";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const auto& [id, table] = tables_[t];
+      out << "    {\"id\": \"" << esc(id) << "\", \"headers\": [";
+      for (std::size_t i = 0; i < table.headers().size(); ++i) {
+        out << (i ? ", " : "") << '"' << esc(table.headers()[i]) << '"';
+      }
+      out << "], \"rows\": [";
+      for (std::size_t r = 0; r < table.rows().size(); ++r) {
+        out << (r ? ", " : "") << '[';
+        for (std::size_t c = 0; c < table.rows()[r].size(); ++c) {
+          out << (c ? ", " : "") << '"' << esc(table.rows()[r][c]) << '"';
+        }
+        out << ']';
+      }
+      out << "]}" << (t + 1 < tables_.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    std::fprintf(stderr, "bench: wrote JSON to %s\n", args_.json_path.c_str());
+    return out.good();
+  }
+
+ private:
+  BenchArgs args_;
+  std::string section_;
+  std::vector<std::pair<std::string, metrics::Table>> tables_;
+};
+
+inline void bench_init(int argc, char** argv) {
+  BenchIo::instance().init(argc, argv);
+}
+inline void bench_finish() {
+  if (!BenchIo::instance().flush()) std::exit(1);
+}
+inline bool smoke() { return BenchIo::instance().smoke(); }
+inline void emit(const metrics::Table& t) { BenchIo::instance().emit(t); }
+
+/// kSweepN, trimmed in smoke mode.
+inline std::vector<std::uint32_t> sweep_n() {
+  return smoke() ? std::vector<std::uint32_t>{4, 7} : kSweepN;
+}
 
 struct DagRiderRun {
   double bytes_per_value = 0;      ///< honest bytes / ordered value
@@ -109,6 +213,7 @@ inline DagRiderRun run_dag_rider(std::uint32_t n, rbc::RbcKind kind,
 }
 
 inline void print_header(const char* id, const char* title) {
+  BenchIo::instance().section(id);
   std::printf("\n=== %s — %s ===\n", id, title);
 }
 

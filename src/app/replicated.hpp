@@ -10,6 +10,7 @@
 #include "app/state_machine.hpp"
 #include "core/system.hpp"
 #include "txpool/mempool.hpp"
+#include "sim/network.hpp"
 
 namespace dr::app {
 

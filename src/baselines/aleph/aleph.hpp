@@ -25,6 +25,7 @@
 
 #include "baselines/bba/binary_agreement.hpp"
 #include "dag/builder.hpp"
+#include "sim/network.hpp"
 
 namespace dr::baselines {
 

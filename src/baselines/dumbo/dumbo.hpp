@@ -21,6 +21,7 @@
 
 #include "baselines/vaba/vaba.hpp"
 #include "rbc/avid_dispersal.hpp"
+#include "sim/network.hpp"
 
 namespace dr::baselines {
 

@@ -23,6 +23,12 @@
 
 namespace dr::coin {
 
+/// Domain-separation tweak XORed into a deployment's master seed to derive
+/// the dealer seed. Shared by the simulator harness and the real runtime so
+/// that independent OS processes configured with the same master seed (the
+/// "trusted setup" of a TCP cluster) derive identical coin shares.
+inline constexpr std::uint64_t kDealerSeedTweak = 0xDEA1ULL;
+
 /// Public share-verification capability. This is the only dealer power that
 /// protocol code (including Byzantine components) may hold: it corresponds
 /// to the public verification key of a threshold signature scheme.

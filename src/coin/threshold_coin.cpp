@@ -4,10 +4,10 @@
 
 namespace dr::coin {
 
-ThresholdCoin::ThresholdCoin(sim::Network& net, ProcessCoinKey key,
+ThresholdCoin::ThresholdCoin(net::Bus& net, ProcessCoinKey key,
                              bool broadcast_shares)
     : net_(net), key_(key), broadcast_shares_(broadcast_shares) {
-  net_.subscribe(key_.pid(), sim::Channel::kCoin,
+  net_.subscribe(key_.pid(), net::Channel::kCoin,
                  [this](ProcessId from, BytesView payload) {
                    on_message(from, payload);
                  });
@@ -26,7 +26,7 @@ void ThresholdCoin::choose_leader(Wave w, std::function<void(ProcessId)> cb) {
     ByteWriter msg(16);
     msg.u64(w);
     msg.u64(share.y);
-    net_.broadcast(key_.pid(), sim::Channel::kCoin, std::move(msg).take());
+    net_.broadcast(key_.pid(), net::Channel::kCoin, std::move(msg).take());
     // Our own share also arrives via the broadcast self-delivery, so no
     // local insertion is needed here.
   }

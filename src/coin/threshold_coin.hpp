@@ -21,7 +21,7 @@
 
 #include "coin/coin.hpp"
 #include "coin/dealer.hpp"
-#include "sim/network.hpp"
+#include "net/bus.hpp"
 
 namespace dr::coin {
 
@@ -30,7 +30,7 @@ class ThresholdCoin final : public Coin {
   /// If broadcast_shares is false, choose_leader does not send the share on
   /// the coin channel — the caller must disseminate shares out-of-band
   /// (piggybacked on DAG vertices, paper footnote 1) via ingest_share.
-  ThresholdCoin(sim::Network& net, ProcessCoinKey key, bool broadcast_shares = true);
+  ThresholdCoin(net::Bus& net, ProcessCoinKey key, bool broadcast_shares = true);
 
   void choose_leader(Wave w, std::function<void(ProcessId)> cb) override;
 
@@ -56,7 +56,7 @@ class ThresholdCoin final : public Coin {
   void on_message(ProcessId from, BytesView payload);
   void try_reconstruct(Wave w, Instance& inst);
 
-  sim::Network& net_;
+  net::Bus& net_;
   ProcessCoinKey key_;
   bool broadcast_shares_;
   std::map<Wave, Instance> instances_;

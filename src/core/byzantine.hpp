@@ -7,6 +7,7 @@
 
 #include "rbc/bracha.hpp"
 #include "rbc/rbc.hpp"
+#include "sim/network.hpp"
 
 namespace dr::core {
 

@@ -1,0 +1,40 @@
+// Delivery and commit records — the observable output of one process's run.
+// Runtime-agnostic: the simulator harness (core::System) stamps `time` with
+// the discrete-event clock, the real-concurrency runtime (node::Node) with
+// microseconds since node start. The auditors in core/audit.hpp consume
+// these records from either runtime, which is what lets the simulator act
+// as the correctness oracle for the threaded implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+#include "dag/vertex.hpp"
+
+namespace dr::core {
+
+/// One a_deliver record (block stored as digest+size so long runs stay
+/// small; auditors compare digests).
+struct DeliveredRecord {
+  crypto::Digest block_digest{};
+  std::size_t block_size = 0;
+  Round round = 0;
+  ProcessId source = 0;
+  std::uint64_t time = 0;  ///< sim ticks or real microseconds (see header)
+
+  bool same_value(const DeliveredRecord& o) const {
+    return block_digest == o.block_digest && round == o.round &&
+           source == o.source;
+  }
+};
+
+/// One commit record (wave leader popped for delivery).
+struct CommitRecord {
+  Wave wave = 0;
+  dag::VertexId leader;
+  bool direct = false;
+  std::uint64_t time = 0;
+};
+
+}  // namespace dr::core

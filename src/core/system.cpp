@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "core/audit.hpp"
 #include "core/byzantine.hpp"
 
 namespace dr::core {
@@ -72,7 +73,7 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
   faults_.resize(cfg_.committee.n, FaultKind::kNone);
   cfg_.faults = faults_;
 
-  dealer_ = std::make_unique<coin::CoinDealer>(cfg_.seed ^ 0xDEA1ULL,
+  dealer_ = std::make_unique<coin::CoinDealer>(cfg_.seed ^ coin::kDealerSeedTweak,
                                                cfg_.committee);
 
   // Mark faults on the network before any traffic flows: crash silences a
@@ -138,18 +139,11 @@ bool System::run_until_wave_decided(Wave w, std::uint64_t max_events) {
 }
 
 bool prefix_consistent(const System& sys) {
-  const std::vector<ProcessId> ids = sys.correct_ids();
-  for (std::size_t a = 0; a < ids.size(); ++a) {
-    for (std::size_t b = a + 1; b < ids.size(); ++b) {
-      const auto& la = sys.node(ids[a]).delivered();
-      const auto& lb = sys.node(ids[b]).delivered();
-      const std::size_t len = std::min(la.size(), lb.size());
-      for (std::size_t i = 0; i < len; ++i) {
-        if (!la[i].same_value(lb[i])) return false;
-      }
-    }
+  std::vector<std::vector<DeliveredRecord>> logs;
+  for (ProcessId pid : sys.correct_ids()) {
+    logs.push_back(sys.node(pid).delivered());
   }
-  return true;
+  return !audit_total_order(logs).has_value();
 }
 
 double chain_quality(const System& sys) {

@@ -13,6 +13,7 @@
 #include "coin/dealer.hpp"
 #include "coin/threshold_coin.hpp"
 #include "core/dag_rider.hpp"
+#include "core/records.hpp"
 #include "crypto/sha256.hpp"
 #include "rbc/factory.hpp"
 #include "sim/adversary.hpp"
@@ -56,30 +57,10 @@ struct SystemConfig {
   std::vector<FaultKind> faults;
 };
 
-/// One a_deliver record kept by the harness (block stored as digest+size so
-/// long runs stay small; tests compare digests).
-struct DeliveredRecord {
-  crypto::Digest block_digest{};
-  std::size_t block_size = 0;
-  Round round = 0;
-  ProcessId source = 0;
-  sim::SimTime time = 0;
+/// The full protocol stack of a single process. DeliveredRecord /
+/// CommitRecord now live in core/records.hpp, shared with the
+/// real-concurrency runtime (node::Node) and the auditors in core/audit.hpp.
 
-  bool same_value(const DeliveredRecord& o) const {
-    return block_digest == o.block_digest && round == o.round &&
-           source == o.source;
-  }
-};
-
-/// One commit record (wave leader popped for delivery).
-struct CommitRecord {
-  Wave wave = 0;
-  dag::VertexId leader;
-  bool direct = false;
-  sim::SimTime time = 0;
-};
-
-/// The full protocol stack of a single process.
 class Node {
  public:
   Node(sim::Network& net, ProcessId pid, const SystemConfig& cfg,

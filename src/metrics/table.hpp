@@ -22,6 +22,10 @@ class Table {
   static std::string fmt(double v, int precision = 2);
   static std::string fmt_u64(std::uint64_t v);
 
+  /// Structured access for machine-readable sinks (bench --json output).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

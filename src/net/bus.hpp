@@ -1,0 +1,42 @@
+// Abstract message bus: the slice of the network that protocol components
+// (reliable broadcast, threshold coin) program against. Two implementations
+// exist — sim::Network (single-threaded discrete-event delivery under an
+// adversarial delay model) and node::NodeBus (real OS threads over a wire
+// transport) — so the exact same protocol code runs in both worlds. This is
+// the seam that lets the simulator remain the correctness oracle for the
+// real-concurrency runtime.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "net/channel.hpp"
+
+namespace dr::net {
+
+class Bus {
+ public:
+  /// Delivery upcall for one (process, channel) subscription.
+  using Handler = std::function<void(ProcessId from, BytesView payload)>;
+
+  virtual ~Bus() = default;
+
+  virtual const Committee& committee() const = 0;
+  std::uint32_t n() const { return committee().n; }
+
+  /// Registers the delivery callback for (process, channel). At most one
+  /// handler per pair; re-registration replaces.
+  virtual void subscribe(ProcessId pid, Channel channel, Handler handler) = 0;
+
+  /// Point-to-point send. Self-sends are queued like any other message —
+  /// never delivered synchronously — so handlers are not reentered.
+  virtual void send(ProcessId from, ProcessId to, Channel channel,
+                    Bytes payload) = 0;
+
+  /// Sends the same payload to all n processes (including self).
+  virtual void broadcast(ProcessId from, Channel channel,
+                         const Bytes& payload) = 0;
+};
+
+}  // namespace dr::net

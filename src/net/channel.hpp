@@ -1,0 +1,32 @@
+// Protocol multiplexing label shared by every message carrier: the simulated
+// network, the real transports, and the wire frame format all tag messages
+// with a Channel so one link can carry all protocol components. Lives in
+// net/ (not sim/) because the wire codec must agree with the simulator on
+// the numbering — it is part of the protocol's wire contract.
+#pragma once
+
+#include <cstdint>
+
+namespace dr::net {
+
+/// Each protocol component subscribes to one channel; a (to, channel) pair
+/// identifies the delivery target.
+enum class Channel : std::uint32_t {
+  kBracha = 1,
+  kAvid = 2,
+  kGossip = 3,
+  kCoin = 4,
+  kVaba = 5,
+  kDumbo = 6,
+  kOracle = 7,
+  kApp = 8,
+  kBba = 9,
+};
+inline constexpr std::uint32_t kChannelCount = 10;
+
+/// True iff `raw` is a defined channel id (wire-input validation).
+inline constexpr bool channel_valid(std::uint32_t raw) {
+  return raw >= 1 && raw < kChannelCount;
+}
+
+}  // namespace dr::net

@@ -1,0 +1,81 @@
+#include "net/frame.hpp"
+
+namespace dr::net {
+
+Bytes encode_frame(ProcessId from, Channel channel, BytesView payload) {
+  DR_ASSERT_MSG(payload.size() <= kMaxFramePayload, "frame payload too large");
+  ByteWriter w(kFrameHeaderBytes + payload.size());
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(from);
+  w.u32(static_cast<std::uint32_t>(channel));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Bytes encode_handshake(const Handshake& hs) {
+  ByteWriter w(kHandshakeWireBytes);
+  w.u32(hs.magic);
+  w.u16(hs.version);
+  w.u32(hs.pid);
+  w.u32(hs.n);
+  w.u32(hs.f);
+  return std::move(w).take();
+}
+
+Expected<Handshake> decode_handshake(BytesView data) {
+  ByteReader in(data);
+  Handshake hs;
+  hs.magic = in.u32();
+  hs.version = in.u16();
+  hs.pid = in.u32();
+  hs.n = in.u32();
+  hs.f = in.u32();
+  if (!in.done()) return Expected<Handshake>::failure("handshake truncated");
+  if (hs.magic != kWireMagic) return Expected<Handshake>::failure("bad magic");
+  if (hs.version != kWireVersion) {
+    return Expected<Handshake>::failure("unsupported wire version");
+  }
+  return hs;
+}
+
+void FrameDecoder::feed(BytesView chunk) {
+  if (dead_) return;
+  // Compact once the consumed prefix dominates the buffer, so long-lived
+  // links do not grow their buffer without bound.
+  if (pos_ > 0 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (dead_) return std::nullopt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return std::nullopt;
+  ByteReader in(BytesView{buf_.data() + pos_, avail});
+  const std::uint32_t len = in.u32();
+  const std::uint32_t from = in.u32();
+  const std::uint32_t raw_channel = in.u32();
+  if (len > kMaxFramePayload) {
+    fail("oversized frame length prefix");
+    return std::nullopt;
+  }
+  if (!channel_valid(raw_channel)) {
+    fail("unknown channel id");
+    return std::nullopt;
+  }
+  if (n_ != 0 && from >= n_) {
+    fail("frame source out of range");
+    return std::nullopt;
+  }
+  if (avail < kFrameHeaderBytes + len) return std::nullopt;  // partial frame
+  Frame f;
+  f.from = from;
+  f.channel = static_cast<Channel>(raw_channel);
+  f.payload = in.raw(len);
+  pos_ += kFrameHeaderBytes + len;
+  return f;
+}
+
+}  // namespace dr::net

@@ -1,0 +1,87 @@
+// Wire format of the real transports: length-prefixed frames carrying the
+// Channel mux, plus the versioned handshake that opens every TCP link. All
+// integers are little-endian, matching ByteWriter. The codec is defensive:
+// it is the first parser that touches bytes from another machine, so every
+// malformed input (truncated frame, oversized length prefix, unknown
+// channel) must be rejected crisply instead of trusted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/expected.hpp"
+#include "common/types.hpp"
+#include "net/channel.hpp"
+
+namespace dr::net {
+
+/// One routed protocol message, as carried by a Transport.
+struct Frame {
+  ProcessId from = 0;
+  Channel channel = Channel::kBracha;
+  Bytes payload;
+};
+
+inline constexpr std::uint32_t kWireMagic = 0x52474144;  // "DAGR" LE
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Upper bound on one frame's payload. A peer could otherwise make the
+/// receiver allocate gigabytes with 4 cheap bytes of length prefix.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/// Frame wire layout: [u32 payload_len][u32 from][u32 channel][payload].
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+Bytes encode_frame(ProcessId from, Channel channel, BytesView payload);
+
+/// Peer introduction, the first bytes on every TCP link:
+/// [u32 magic][u16 version][u32 pid][u32 n][u32 f].
+struct Handshake {
+  std::uint32_t magic = kWireMagic;
+  std::uint16_t version = kWireVersion;
+  ProcessId pid = 0;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+};
+inline constexpr std::size_t kHandshakeWireBytes = 4 + 2 + 4 + 4 + 4;
+
+Bytes encode_handshake(const Handshake& hs);
+
+/// Rejects short input, wrong magic, and unknown version. Committee and pid
+/// consistency is the transport's job (it knows the expected values).
+Expected<Handshake> decode_handshake(BytesView data);
+
+/// Incremental decoder for a TCP byte stream: feed arbitrary chunks, pop
+/// complete frames. A protocol violation (oversized length, unknown
+/// channel, out-of-range source) flips the decoder into a dead state; the
+/// owning link must then be torn down — resynchronizing inside a corrupted
+/// byte stream is not possible with length-prefixed framing.
+class FrameDecoder {
+ public:
+  /// `n` bounds the valid `from` ids; 0 disables the source check.
+  explicit FrameDecoder(std::uint32_t n = 0) : n_(n) {}
+
+  void feed(BytesView chunk);
+
+  /// Pops the next complete frame, if one is buffered.
+  std::optional<Frame> next();
+
+  bool dead() const { return dead_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  void fail(std::string why) {
+    dead_ = true;
+    error_ = std::move(why);
+  }
+
+  std::uint32_t n_;
+  Bytes buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool dead_ = false;
+  std::string error_;
+};
+
+}  // namespace dr::net

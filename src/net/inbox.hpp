@@ -1,0 +1,105 @@
+// Thread-safe MPSC inbox feeding a node's event loop. Many transport/link
+// threads push; exactly one consumer drains in batches, so the consumer pays
+// one lock round-trip per drain cycle regardless of how many messages are
+// pending. The capacity is a soft bound realizing per-link backpressure:
+// push() blocks while the inbox is full — but never forever. After a grace
+// period it force-enqueues and counts an overflow, trading strict
+// boundedness for deadlock freedom (two nodes blocked mid-broadcast into
+// each other's full inboxes must not wedge the cluster).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace dr::net {
+
+class Inbox {
+ public:
+  explicit Inbox(std::size_t capacity = 1 << 16,
+                 std::chrono::milliseconds overflow_grace =
+                     std::chrono::milliseconds(100))
+      : capacity_(capacity), overflow_grace_(overflow_grace) {}
+
+  /// Blocking producer push with backpressure (see header comment).
+  void push(Frame f) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (closed_) return;
+    if (queue_.size() >= capacity_) {
+      if (!not_full_.wait_for(lk, overflow_grace_, [this] {
+            return queue_.size() < capacity_ || closed_;
+          })) {
+        ++overflows_;  // grace expired: overflow rather than deadlock
+      }
+      if (closed_) return;
+    }
+    queue_.push_back(std::move(f));
+    not_empty_.notify_one();
+  }
+
+  /// Non-blocking push that ignores capacity. Used for a node's sends to
+  /// itself: the consumer must never block on its own inbox.
+  void push_unbounded(Frame f) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;
+      queue_.push_back(std::move(f));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Appends everything pending to `out`. If the inbox is empty, blocks up
+  /// to `wait` for the first message. Returns the number appended.
+  std::size_t pop_all(std::vector<Frame>& out, std::chrono::milliseconds wait) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (queue_.empty() && !closed_) {
+      not_empty_.wait_for(lk, wait,
+                          [this] { return !queue_.empty() || closed_; });
+    }
+    const std::size_t popped = queue_.size();
+    for (Frame& f : queue_) out.push_back(std::move(f));
+    queue_.clear();
+    if (popped > 0) not_full_.notify_all();
+    return popped;
+  }
+
+  /// Wakes the consumer and turns all future pushes into no-ops.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+  }
+  std::uint64_t overflows() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return overflows_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::milliseconds overflow_grace_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Frame> queue_;
+  std::uint64_t overflows_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dr::net

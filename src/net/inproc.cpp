@@ -1,0 +1,64 @@
+#include "net/inproc.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace dr::net {
+
+class InProcEndpoint final : public Transport {
+ public:
+  InProcEndpoint(std::shared_ptr<InProcNetwork::Shared> shared, ProcessId pid)
+      : shared_(std::move(shared)), pid_(pid) {}
+
+  ~InProcEndpoint() override { stop(); }
+
+  ProcessId pid() const override { return pid_; }
+  const Committee& committee() const override { return shared_->committee; }
+
+  void start(RecvFn recv) override {
+    InProcNetwork::Peer& me = shared_->peers[pid_];
+    me.recv = std::move(recv);
+    me.ready.store(true, std::memory_order_release);
+  }
+
+  void send(ProcessId to, Channel channel, Bytes payload) override {
+    DR_ASSERT(to < shared_->committee.n);
+    InProcNetwork::Peer& peer = shared_->peers[to];
+    if (!peer.ready.load(std::memory_order_acquire)) {
+      // The hosting harness starts every endpoint before any protocol
+      // traffic flows; tolerate a short startup skew, then drop (the peer
+      // is gone — mid-shutdown, or never started).
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (!peer.ready.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() > deadline) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    peer.recv(Frame{pid_, channel, std::move(payload)});
+  }
+
+  void stop() override {
+    shared_->peers[pid_].ready.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::shared_ptr<InProcNetwork::Shared> shared_;
+  ProcessId pid_;
+};
+
+InProcNetwork::InProcNetwork(Committee committee)
+    : shared_(std::make_shared<Shared>()) {
+  DR_ASSERT_MSG(committee.valid(), "InProcNetwork: committee must satisfy n > 3f");
+  shared_->committee = committee;
+  shared_->peers = std::vector<Peer>(committee.n);
+}
+
+std::unique_ptr<Transport> InProcNetwork::endpoint(ProcessId pid) {
+  DR_ASSERT(pid < shared_->committee.n);
+  return std::make_unique<InProcEndpoint>(shared_, pid);
+}
+
+}  // namespace dr::net

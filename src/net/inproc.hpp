@@ -1,0 +1,41 @@
+// In-process transport: n endpoints in one OS process, one per node thread,
+// exchanging frames through direct handoff into each receiver's inbox (the
+// receive hook). No serialization, no syscalls — this is the "as fast as
+// the hardware allows" configuration, and the one the auditor cross-check
+// tests run under sanitizers. Backpressure comes from the receiving node's
+// bounded inbox: a sender blocks inside the receiver's recv hook until the
+// consumer drains (see net::Inbox for the deadlock-freedom escape hatch).
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "net/transport.hpp"
+
+namespace dr::net {
+
+class InProcNetwork {
+ public:
+  explicit InProcNetwork(Committee committee);
+
+  const Committee& committee() const { return shared_->committee; }
+
+  /// Creates the endpoint for `pid`. Call exactly once per pid. Endpoints
+  /// keep the shared registry alive, so the network object itself may be
+  /// destroyed first.
+  std::unique_ptr<Transport> endpoint(ProcessId pid);
+
+ private:
+  friend class InProcEndpoint;
+  struct Peer {
+    Transport::RecvFn recv;
+    std::atomic<bool> ready{false};
+  };
+  struct Shared {
+    Committee committee;
+    std::vector<Peer> peers;
+  };
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace dr::net

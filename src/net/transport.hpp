@@ -1,0 +1,44 @@
+// Point-to-point message carrier for one node endpoint. Implementations:
+//   InProcNetwork/endpoint — shared-memory delivery between OS threads in
+//     one process (the real-concurrency analogue of sim::Network);
+//   TcpTransport — length-prefixed frames (net/frame.hpp) over TCP, with a
+//     versioned handshake per link and a bounded per-link send queue.
+// Delivery invokes the receive hook from transport- or sender-owned threads;
+// the hosting node is expected to queue into its own event loop (node::Node
+// routes everything through a net::Inbox) rather than process in place.
+#pragma once
+
+#include <functional>
+
+#include "net/frame.hpp"
+
+namespace dr::net {
+
+class Transport {
+ public:
+  using RecvFn = std::function<void(Frame f)>;
+
+  virtual ~Transport() = default;
+
+  virtual ProcessId pid() const = 0;
+  virtual const Committee& committee() const = 0;
+
+  /// Begins delivering inbound frames to `recv`. Must be called before any
+  /// send; `recv` must be thread-safe (it is called from other threads).
+  virtual void start(RecvFn recv) = 0;
+
+  /// Queues `payload` for `to`. Self-sends loop back through the recv path
+  /// (queued, never synchronous) so protocol code sees uniform semantics.
+  /// Blocking is the backpressure mechanism; see the implementations.
+  virtual void send(ProcessId to, Channel channel, Bytes payload) = 0;
+
+  /// Stops all transport threads and closes links. After return, no more
+  /// recv callbacks fire. Idempotent.
+  virtual void stop() = 0;
+
+  /// Sends that overstayed a full send queue's grace period (forced through
+  /// rather than deadlocking; nonzero means the cluster is overdriven).
+  virtual std::uint64_t backpressure_overflows() const { return 0; }
+};
+
+}  // namespace dr::net

@@ -1,0 +1,66 @@
+#include "node/cluster.hpp"
+
+#include <thread>
+
+namespace dr::node {
+
+Cluster::Cluster(Committee committee, NodeOptions opts)
+    : committee_(committee),
+      dealer_(opts.seed ^ coin::kDealerSeedTweak, committee),
+      net_(committee) {
+  DR_ASSERT_MSG(committee_.valid(), "Cluster: committee must satisfy n > 3f");
+  nodes_.reserve(committee_.n);
+  for (ProcessId pid = 0; pid < committee_.n; ++pid) {
+    nodes_.push_back(
+        std::make_unique<Node>(net_.endpoint(pid), &dealer_, opts));
+  }
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& n : nodes_) n->start();
+}
+
+void Cluster::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& n : nodes_) n->stop_loop();
+  for (auto& n : nodes_) n->stop_transport();
+}
+
+bool Cluster::wait_all_delivered(std::uint64_t count,
+                                 std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool all = true;
+    for (auto& n : nodes_) {
+      if (n->delivered_count() < count) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+std::vector<std::vector<core::DeliveredRecord>> Cluster::delivered_logs()
+    const {
+  std::vector<std::vector<core::DeliveredRecord>> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n->delivered_snapshot());
+  return out;
+}
+
+std::vector<std::vector<core::CommitRecord>> Cluster::commit_logs() const {
+  std::vector<std::vector<core::CommitRecord>> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n->commits_snapshot());
+  return out;
+}
+
+}  // namespace dr::node

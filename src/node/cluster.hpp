@@ -1,0 +1,52 @@
+// n-node in-process cluster: one OS thread per node over the shared-memory
+// transport (net::InProcNetwork), with the threshold-coin trusted setup
+// derived from a single master seed. This is the fixture the sanitizer
+// cross-check tests and the realtime throughput bench drive; the TCP
+// equivalent is assembled by hand in examples/cluster_main.cpp because its
+// processes don't share an address space.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "coin/dealer.hpp"
+#include "net/inproc.hpp"
+#include "node/node.hpp"
+
+namespace dr::node {
+
+class Cluster {
+ public:
+  explicit Cluster(Committee committee, NodeOptions opts = {});
+  ~Cluster();
+
+  void start();
+  /// Two-phase teardown: joins every node's event loop before tearing down
+  /// any transport, because peer node threads deliver straight into each
+  /// other's inboxes (see Node::stop_loop/stop_transport).
+  void stop();
+
+  std::uint32_t n() const { return committee_.n; }
+  const Committee& committee() const { return committee_; }
+  Node& node(ProcessId pid) { return *nodes_[pid]; }
+  const Node& node(ProcessId pid) const { return *nodes_[pid]; }
+
+  /// Polls until every node a_delivered >= count blocks, or timeout.
+  bool wait_all_delivered(std::uint64_t count,
+                          std::chrono::milliseconds timeout);
+
+  /// Snapshots for the shared auditors (core/audit.hpp).
+  std::vector<std::vector<core::DeliveredRecord>> delivered_logs() const;
+  std::vector<std::vector<core::CommitRecord>> commit_logs() const;
+
+ private:
+  Committee committee_;
+  coin::CoinDealer dealer_;
+  net::InProcNetwork net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace dr::node

@@ -1,0 +1,163 @@
+#include "node/node.hpp"
+
+#include "crypto/sha256.hpp"
+#include "txpool/transaction.hpp"
+
+namespace dr::node {
+
+Node::Node(std::unique_ptr<net::Transport> transport,
+           const coin::CoinDealer* dealer, NodeOptions opts)
+    : opts_(opts),
+      transport_(std::move(transport)),
+      inbox_(opts_.inbox_capacity),
+      bus_(*transport_),
+      epoch_(std::chrono::steady_clock::now()) {
+  const ProcessId my_pid = transport_->pid();
+
+  rbc_ = rbc::make_factory(opts_.rbc_kind)(bus_, my_pid, opts_.seed);
+
+  coin::ThresholdCoin* threshold_coin = nullptr;
+  switch (opts_.coin_mode) {
+    case CoinMode::kLocal:
+      coin_ = std::make_unique<coin::LocalCoin>(opts_.seed ^ 0xC0111ULL,
+                                                committee().n);
+      break;
+    case CoinMode::kThreshold:
+    case CoinMode::kPiggyback: {
+      DR_ASSERT_MSG(dealer != nullptr,
+                    "threshold coin modes need the trusted dealer setup");
+      auto tc = std::make_unique<coin::ThresholdCoin>(
+          bus_, coin::ProcessCoinKey(dealer, my_pid),
+          /*broadcast_shares=*/opts_.coin_mode == CoinMode::kThreshold);
+      threshold_coin = tc.get();
+      coin_ = std::move(tc);
+      break;
+    }
+  }
+
+  builder_ = std::make_unique<dag::DagBuilder>(committee(), my_pid, *rbc_,
+                                               opts_.builder);
+  if (opts_.coin_mode == CoinMode::kPiggyback) {
+    builder_->enable_coin_piggyback(
+        [threshold_coin](Wave w) { return threshold_coin->share_to_embed(w); },
+        [threshold_coin](ProcessId from, Wave w, std::uint64_t y) {
+          threshold_coin->ingest_share(from, w, y);
+        });
+  }
+  rider_ = std::make_unique<core::DagRider>(*builder_, *coin_);
+  if (opts_.gc_depth_rounds > 0) rider_->enable_gc(opts_.gc_depth_rounds);
+
+  rider_->set_deliver([this](const Bytes& block, Round r, ProcessId src) {
+    const std::uint64_t t = now_us();
+    {
+      std::lock_guard<std::mutex> lk(log_mu_);
+      delivered_.push_back(core::DeliveredRecord{crypto::sha256(block),
+                                                 block.size(), r, src, t});
+    }
+    delivered_count_.fetch_add(1, std::memory_order_release);
+    if (auto txs = txpool::decode_block(BytesView(block))) {
+      std::lock_guard<std::mutex> lk(mempool_mu_);
+      mempool_.observe_delivered(txs.value());
+    }
+    if (app_deliver_) app_deliver_(block, r, src, t);
+  });
+  rider_->set_commit_observer([this](Wave w, dag::VertexId leader, bool direct) {
+    std::lock_guard<std::mutex> lk(log_mu_);
+    commits_.push_back(core::CommitRecord{w, leader, direct, now_us()});
+  });
+
+  // a_bcast path: blocks ride the inbox as kApp frames from this node to
+  // itself, so proposals enter the builder on the node thread like any
+  // other event.
+  bus_.subscribe(my_pid, net::Channel::kApp,
+                 [this](ProcessId from, BytesView block) {
+                   if (from != pid()) return;  // kApp is loopback-only
+                   rider_->a_bcast(Bytes(block.begin(), block.end()));
+                 });
+}
+
+Node::~Node() { stop(); }
+
+void Node::start() {
+  DR_ASSERT_MSG(!running_.load() && !loop_stopped_, "Node::start is one-shot");
+  running_.store(true, std::memory_order_release);
+  transport_->start([this](net::Frame f) {
+    // Self-sends use the unbounded path: the consumer of this inbox is the
+    // thread that produced them, and it must never block on itself.
+    if (f.from == pid()) {
+      inbox_.push_unbounded(std::move(f));
+    } else {
+      inbox_.push(std::move(f));
+    }
+  });
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Node::loop() {
+  builder_->start();
+  std::vector<net::Frame> batch;
+  while (running_.load(std::memory_order_acquire)) {
+    batch.clear();
+    inbox_.pop_all(batch, opts_.idle_wait);
+    for (const net::Frame& f : batch) {
+      bus_.dispatch(f);
+    }
+    refill_from_mempool();
+  }
+}
+
+void Node::refill_from_mempool() {
+  if (builder_->blocks_pending() >= opts_.max_blocks_pending) return;
+  Bytes block;
+  {
+    std::lock_guard<std::mutex> lk(mempool_mu_);
+    if (mempool_.pending() == 0) return;
+    block = mempool_.next_block(opts_.block_max_txs);
+  }
+  if (!block.empty()) rider_->a_bcast(std::move(block));
+}
+
+bool Node::submit(txpool::Transaction tx) {
+  std::lock_guard<std::mutex> lk(mempool_mu_);
+  return mempool_.submit(std::move(tx));
+}
+
+void Node::a_bcast(Bytes block) {
+  net::Frame f{pid(), net::Channel::kApp, std::move(block)};
+  if (std::this_thread::get_id() == thread_.get_id()) {
+    inbox_.push_unbounded(std::move(f));
+  } else {
+    inbox_.push(std::move(f));
+  }
+}
+
+void Node::stop_loop() {
+  if (loop_stopped_) return;
+  loop_stopped_ = true;
+  running_.store(false, std::memory_order_release);
+  inbox_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Node::stop_transport() {
+  if (transport_stopped_) return;
+  transport_stopped_ = true;
+  transport_->stop();
+}
+
+void Node::stop() {
+  stop_loop();
+  stop_transport();
+}
+
+std::vector<core::DeliveredRecord> Node::delivered_snapshot() const {
+  std::lock_guard<std::mutex> lk(log_mu_);
+  return delivered_;
+}
+
+std::vector<core::CommitRecord> Node::commits_snapshot() const {
+  std::lock_guard<std::mutex> lk(log_mu_);
+  return commits_;
+}
+
+}  // namespace dr::node

@@ -1,0 +1,202 @@
+// Real-concurrency node runtime: one OS-thread event loop hosting the same
+// protocol stack the simulator runs (reliable broadcast + threshold coin +
+// DAG builder + DAG-Rider ordering), behind a thread-safe inbox.
+//
+// Concurrency model (see DESIGN.md "Real-concurrency runtime"): the protocol
+// stack is single-threaded and lock-free by construction — every message,
+// including this node's own broadcasts looping back, is dispatched on the
+// node thread from the inbox. Thread-safety exists only at the boundaries:
+// the net::Inbox (transport/link threads push, node thread drains), the
+// mempool mutex (client threads submit, node thread drains), and the
+// delivered/commit log mutex (node thread appends, observers snapshot).
+// Nothing inside rbc/, dag/, or core/ ever sees two threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "coin/coin.hpp"
+#include "coin/dealer.hpp"
+#include "coin/threshold_coin.hpp"
+#include "common/assert.hpp"
+#include "core/dag_rider.hpp"
+#include "core/records.hpp"
+#include "net/bus.hpp"
+#include "net/inbox.hpp"
+#include "net/transport.hpp"
+#include "rbc/factory.hpp"
+#include "txpool/mempool.hpp"
+
+namespace dr::node {
+
+/// How the node draws its common coin. Mirrors core::CoinMode but without
+/// dragging in the simulator harness header.
+enum class CoinMode {
+  kLocal,      ///< perfect-coin oracle (tests)
+  kThreshold,  ///< shares broadcast on the coin channel
+  kPiggyback,  ///< shares embedded in DAG vertices (paper footnote 1)
+};
+
+struct NodeOptions {
+  rbc::RbcKind rbc_kind = rbc::RbcKind::kBracha;
+  CoinMode coin_mode = CoinMode::kPiggyback;
+  /// auto_blocks keeps rounds advancing when the mempool runs dry (the
+  /// paper's "infinitely many blocks" assumption); size 0 = empty filler.
+  dag::BuilderOptions builder{.auto_blocks = true, .auto_block_size = 0};
+  Round gc_depth_rounds = 0;
+  std::uint64_t seed = 1;
+  /// Transactions drained from the mempool into one proposed block.
+  std::size_t block_max_txs = 256;
+  /// Proposed-block backlog above which the loop stops draining the mempool
+  /// (blocks park in the builder queue; leaving them in the mempool instead
+  /// keeps them eligible for duplicate suppression).
+  std::size_t max_blocks_pending = 2;
+  std::size_t inbox_capacity = 1 << 16;
+  /// Event-loop sleep cap when the inbox is empty.
+  std::chrono::milliseconds idle_wait{1};
+};
+
+/// net::Bus facade over one Transport endpoint: subscribe() registers local
+/// handlers, send/broadcast go out through the transport, and dispatch()
+/// (called only from the node thread) routes inbound frames to handlers.
+/// This is the piece that lets rbc/ and coin/ components run unmodified on
+/// real links.
+class NodeBus final : public net::Bus {
+ public:
+  explicit NodeBus(net::Transport& transport)
+      : transport_(transport), handlers_(net::kChannelCount) {}
+
+  const Committee& committee() const override { return transport_.committee(); }
+
+  void subscribe(ProcessId pid, net::Channel channel, Handler handler) override {
+    DR_ASSERT_MSG(pid == transport_.pid(),
+                  "NodeBus hosts exactly one process's handlers");
+    handlers_[static_cast<std::uint32_t>(channel)] = std::move(handler);
+  }
+
+  void send(ProcessId from, ProcessId to, net::Channel channel,
+            Bytes payload) override {
+    DR_ASSERT(from == transport_.pid());
+    transport_.send(to, channel, std::move(payload));
+  }
+
+  void broadcast(ProcessId from, net::Channel channel,
+                 const Bytes& payload) override {
+    DR_ASSERT(from == transport_.pid());
+    for (ProcessId to = 0; to < committee().n; ++to) {
+      transport_.send(to, channel, Bytes(payload));
+    }
+  }
+
+  /// Node-thread only.
+  void dispatch(const net::Frame& f) {
+    const auto idx = static_cast<std::uint32_t>(f.channel);
+    if (idx < handlers_.size() && handlers_[idx]) {
+      handlers_[idx](f.from, BytesView(f.payload));
+    }
+  }
+
+ private:
+  net::Transport& transport_;
+  std::vector<Handler> handlers_;
+};
+
+/// One live DAG-Rider process on a real transport.
+class Node {
+ public:
+  /// `dealer` must outlive the node and be derived from the same master seed
+  /// at every process (coin::kDealerSeedTweak); required for threshold /
+  /// piggyback coin modes, may be nullptr for kLocal.
+  Node(std::unique_ptr<net::Transport> transport,
+       const coin::CoinDealer* dealer, NodeOptions opts = {});
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  ProcessId pid() const { return transport_->pid(); }
+  const Committee& committee() const { return transport_->committee(); }
+
+  /// Starts the transport and the event loop; the loop's first act is
+  /// builder().start(), broadcasting this node's round-1 vertex.
+  void start();
+
+  /// stop_loop() then stop_transport(). For in-process clusters the two
+  /// phases must be split across all nodes (Cluster does this): every event
+  /// loop must be joined before any transport is torn down, because peer
+  /// node threads deliver straight into this node's inbox.
+  void stop();
+  void stop_loop();
+  void stop_transport();
+
+  /// Thread-safe client submission into the mempool. Returns false on
+  /// duplicate or mempool overflow (client-facing backpressure).
+  bool submit(txpool::Transaction tx);
+
+  /// a_bcast(b): queues an opaque block for proposal, bypassing the mempool.
+  /// Thread-safe; the block rides the inbox to the node thread.
+  void a_bcast(Bytes block);
+
+  /// Microseconds since this node's construction (the `time` base of its
+  /// delivery records; also the submit_time base for latency measurement).
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  std::uint64_t delivered_count() const {
+    return delivered_count_.load(std::memory_order_acquire);
+  }
+  std::vector<core::DeliveredRecord> delivered_snapshot() const;
+  std::vector<core::CommitRecord> commits_snapshot() const;
+
+  std::uint64_t inbox_overflows() const { return inbox_.overflows(); }
+  std::uint64_t backpressure_overflows() const {
+    return transport_->backpressure_overflows();
+  }
+
+  /// Application delivery hook, invoked on the node thread after the record
+  /// is logged. Set before start().
+  using AppDeliverFn = std::function<void(const Bytes& block, Round r,
+                                          ProcessId source, std::uint64_t t_us)>;
+  void set_app_deliver(AppDeliverFn fn) { app_deliver_ = std::move(fn); }
+
+  net::Transport& transport() { return *transport_; }
+
+ private:
+  void loop();
+  void refill_from_mempool();
+
+  NodeOptions opts_;
+  std::unique_ptr<net::Transport> transport_;
+  net::Inbox inbox_;
+  NodeBus bus_;
+
+  std::unique_ptr<rbc::ReliableBroadcast> rbc_;
+  std::unique_ptr<coin::Coin> coin_;
+  std::unique_ptr<dag::DagBuilder> builder_;
+  std::unique_ptr<core::DagRider> rider_;
+
+  std::mutex mempool_mu_;
+  txpool::Mempool mempool_;
+
+  mutable std::mutex log_mu_;
+  std::vector<core::DeliveredRecord> delivered_;
+  std::vector<core::CommitRecord> commits_;
+  std::atomic<std::uint64_t> delivered_count_{0};
+
+  AppDeliverFn app_deliver_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  bool loop_stopped_ = false;
+  bool transport_stopped_ = false;
+};
+
+}  // namespace dr::node

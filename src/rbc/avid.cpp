@@ -34,13 +34,13 @@ bool parse_fragment_msg(BytesView data, FragmentMsg& out) {
 
 }  // namespace
 
-AvidRbc::AvidRbc(sim::Network& net, ProcessId pid)
+AvidRbc::AvidRbc(net::Bus& net, ProcessId pid)
     : net_(net),
       pid_(pid),
       rs_(net.committee().small_quorum(),            // k = f+1 data shards
           net.n() - net.committee().small_quorum())  // m = n-f-1 parity
 {
-  net_.subscribe(pid_, sim::Channel::kAvid,
+  net_.subscribe(pid_, net::Channel::kAvid,
                  [this](ProcessId from, BytesView data) { on_message(from, data); });
 }
 
@@ -58,7 +58,7 @@ void AvidRbc::broadcast(Round r, Bytes payload) {
     w.blob(fragments[to]);
     const Bytes proof = tree.prove(to).serialize();
     w.raw(proof);
-    net_.send(pid_, to, sim::Channel::kAvid, std::move(w).take());
+    net_.send(pid_, to, net::Channel::kAvid, std::move(w).take());
   }
 }
 
@@ -112,7 +112,7 @@ void AvidRbc::on_message(ProcessId from, BytesView data) {
         w.u32(pid_);
         w.blob(msg.fragment);
         w.raw(msg.proof.serialize());
-        net_.broadcast(pid_, sim::Channel::kAvid, std::move(w).take());
+        net_.broadcast(pid_, net::Channel::kAvid, std::move(w).take());
       }
       break;
     }
@@ -165,7 +165,7 @@ void AvidRbc::maybe_progress(const InstanceKey& key, const crypto::Digest& root)
     w.u32(key.source);
     w.u64(key.round);
     w.raw(BytesView{root.data(), root.size()});
-    net_.broadcast(pid_, sim::Channel::kAvid, std::move(w).take());
+    net_.broadcast(pid_, net::Channel::kAvid, std::move(w).take());
   }
   if (pr.ready_senders.size() >= quorum && !inst.delivered &&
       ensure_payload(pr, root)) {

@@ -34,7 +34,7 @@ namespace dr::rbc {
 
 class AvidRbc final : public ReliableBroadcast {
  public:
-  AvidRbc(sim::Network& net, ProcessId pid);
+  AvidRbc(net::Bus& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
   void broadcast(Round r, Bytes payload) override;
@@ -72,7 +72,7 @@ class AvidRbc final : public ReliableBroadcast {
   /// the Merkle root. Returns true iff the payload is available and valid.
   bool ensure_payload(PerRoot& pr, const crypto::Digest& root);
 
-  sim::Network& net_;
+  net::Bus& net_;
   ProcessId pid_;
   DeliverFn deliver_;
   crypto::ReedSolomon rs_;

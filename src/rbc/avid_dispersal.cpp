@@ -4,8 +4,8 @@
 
 namespace dr::rbc {
 
-AvidDispersal::AvidDispersal(sim::Network& net, ProcessId pid,
-                             sim::Channel channel)
+AvidDispersal::AvidDispersal(net::Bus& net, ProcessId pid,
+                             net::Channel channel)
     : net_(net),
       pid_(pid),
       channel_(channel),

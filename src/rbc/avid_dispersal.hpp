@@ -35,8 +35,8 @@ class AvidDispersal {
   /// verified against the Merkle root.
   using RetrievedFn = std::function<void(const crypto::Digest& root, Bytes value)>;
 
-  AvidDispersal(sim::Network& net, ProcessId pid,
-                sim::Channel channel = sim::Channel::kDumbo);
+  AvidDispersal(net::Bus& net, ProcessId pid,
+                net::Channel channel = net::Channel::kDumbo);
 
   void set_available(AvailableFn fn) { available_ = std::move(fn); }
 
@@ -73,9 +73,9 @@ class AvidDispersal {
   void send_fragment_to(ProcessId to, const crypto::Digest& root, RootState& rs);
   void try_reconstruct(const crypto::Digest& root, RootState& rs);
 
-  sim::Network& net_;
+  net::Bus& net_;
   ProcessId pid_;
-  sim::Channel channel_;
+  net::Channel channel_;
   AvailableFn available_;
   crypto::ReedSolomon rs_;
   std::map<crypto::Digest, RootState> roots_;

@@ -2,8 +2,8 @@
 
 namespace dr::rbc {
 
-BrachaRbc::BrachaRbc(sim::Network& net, ProcessId pid) : net_(net), pid_(pid) {
-  net_.subscribe(pid_, sim::Channel::kBracha,
+BrachaRbc::BrachaRbc(net::Bus& net, ProcessId pid) : net_(net), pid_(pid) {
+  net_.subscribe(pid_, net::Channel::kBracha,
                  [this](ProcessId from, BytesView data) { on_message(from, data); });
 }
 
@@ -18,7 +18,7 @@ Bytes BrachaRbc::encode(MsgType type, ProcessId source, Round r,
 }
 
 void BrachaRbc::broadcast(Round r, Bytes payload) {
-  net_.broadcast(pid_, sim::Channel::kBracha, encode(kSend, pid_, r, payload));
+  net_.broadcast(pid_, net::Channel::kBracha, encode(kSend, pid_, r, payload));
 }
 
 void BrachaRbc::on_message(ProcessId from, BytesView data) {
@@ -46,7 +46,7 @@ void BrachaRbc::on_message(ProcessId from, BytesView data) {
       }
       if (!inst.echoed) {
         inst.echoed = true;
-        net_.broadcast(pid_, sim::Channel::kBracha,
+        net_.broadcast(pid_, net::Channel::kBracha,
                        encode(kEcho, source, round, pp.payload));
       }
       break;
@@ -83,7 +83,7 @@ void BrachaRbc::maybe_progress(const InstanceKey& key, const crypto::Digest& dig
       pp.echoes.size() >= quorum || pp.readies.size() >= small;
   if (ready_trigger && !inst.readied && pp.have_payload) {
     inst.readied = true;
-    net_.broadcast(pid_, sim::Channel::kBracha,
+    net_.broadcast(pid_, net::Channel::kBracha,
                    encode(kReady, key.source, key.round, pp.payload));
   }
   if (pp.readies.size() >= quorum && pp.have_payload && !inst.delivered) {

@@ -20,7 +20,7 @@ namespace dr::rbc {
 
 class BrachaRbc final : public ReliableBroadcast {
  public:
-  BrachaRbc(sim::Network& net, ProcessId pid);
+  BrachaRbc(net::Bus& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
   void broadcast(Round r, Bytes payload) override;
@@ -55,7 +55,7 @@ class BrachaRbc final : public ReliableBroadcast {
   void maybe_progress(const InstanceKey& key, const crypto::Digest& digest);
   Bytes encode(MsgType type, ProcessId source, Round r, BytesView payload) const;
 
-  sim::Network& net_;
+  net::Bus& net_;
   ProcessId pid_;
   DeliverFn deliver_;
   std::map<InstanceKey, Instance> instances_;

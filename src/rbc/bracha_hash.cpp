@@ -2,9 +2,9 @@
 
 namespace dr::rbc {
 
-BrachaHashRbc::BrachaHashRbc(sim::Network& net, ProcessId pid)
+BrachaHashRbc::BrachaHashRbc(net::Bus& net, ProcessId pid)
     : net_(net), pid_(pid) {
-  net_.subscribe(pid_, sim::Channel::kBracha,
+  net_.subscribe(pid_, net::Channel::kBracha,
                  [this](ProcessId from, BytesView data) { on_message(from, data); });
 }
 
@@ -22,7 +22,7 @@ void BrachaHashRbc::broadcast(Round r, Bytes payload) {
   w.u32(pid_);
   w.u64(r);
   w.blob(payload);
-  net_.broadcast(pid_, sim::Channel::kBracha, std::move(w).take());
+  net_.broadcast(pid_, net::Channel::kBracha, std::move(w).take());
 }
 
 void BrachaHashRbc::on_message(ProcessId from, BytesView data) {
@@ -50,7 +50,7 @@ void BrachaHashRbc::on_message(ProcessId from, BytesView data) {
         w.u32(source);
         w.u64(round);
         w.raw(BytesView{inst.payload_digest.data(), inst.payload_digest.size()});
-        net_.broadcast(pid_, sim::Channel::kBracha, std::move(w).take());
+        net_.broadcast(pid_, net::Channel::kBracha, std::move(w).take());
       }
       maybe_progress(key, inst.payload_digest);
       break;
@@ -77,7 +77,7 @@ void BrachaHashRbc::on_message(ProcessId from, BytesView data) {
       w.u32(source);
       w.u64(round);
       w.blob(inst.payload);
-      net_.send(pid_, from, sim::Channel::kBracha, std::move(w).take());
+      net_.send(pid_, from, net::Channel::kBracha, std::move(w).take());
       break;
     }
     case kPayload: {
@@ -118,7 +118,7 @@ void BrachaHashRbc::maybe_progress(const InstanceKey& key,
     w.u32(key.source);
     w.u64(key.round);
     w.raw(BytesView{digest.data(), digest.size()});
-    net_.broadcast(pid_, sim::Channel::kBracha, std::move(w).take());
+    net_.broadcast(pid_, net::Channel::kBracha, std::move(w).take());
   }
   if (pd.readies.size() < quorum) return;
 
@@ -141,7 +141,7 @@ void BrachaHashRbc::maybe_progress(const InstanceKey& key,
   const Bytes fetch = std::move(w).take();
   for (ProcessId holder : pd.echoes) {
     if (pd.fetched_from.insert(holder).second) {
-      net_.send(pid_, holder, sim::Channel::kBracha, fetch);
+      net_.send(pid_, holder, net::Channel::kBracha, fetch);
     }
   }
 }

@@ -31,7 +31,7 @@ namespace dr::rbc {
 
 class BrachaHashRbc final : public ReliableBroadcast {
  public:
-  BrachaHashRbc(sim::Network& net, ProcessId pid);
+  BrachaHashRbc(net::Bus& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
   void broadcast(Round r, Bytes payload) override;
@@ -76,7 +76,7 @@ class BrachaHashRbc final : public ReliableBroadcast {
   void maybe_progress(const InstanceKey& key, const crypto::Digest& digest);
   Bytes header(MsgType type, ProcessId source, Round r) const;
 
-  sim::Network& net_;
+  net::Bus& net_;
   ProcessId pid_;
   DeliverFn deliver_;
   std::map<InstanceKey, Instance> instances_;

@@ -30,23 +30,23 @@ inline const char* to_string(RbcKind kind) {
 inline RbcFactory make_factory(RbcKind kind, GossipParams gossip_params = {}) {
   switch (kind) {
     case RbcKind::kBracha:
-      return [](sim::Network& net, ProcessId pid, std::uint64_t) {
+      return [](net::Bus& net, ProcessId pid, std::uint64_t) {
         return std::make_unique<BrachaRbc>(net, pid);
       };
     case RbcKind::kBrachaHash:
-      return [](sim::Network& net, ProcessId pid, std::uint64_t) {
+      return [](net::Bus& net, ProcessId pid, std::uint64_t) {
         return std::make_unique<BrachaHashRbc>(net, pid);
       };
     case RbcKind::kAvid:
-      return [](sim::Network& net, ProcessId pid, std::uint64_t) {
+      return [](net::Bus& net, ProcessId pid, std::uint64_t) {
         return std::make_unique<AvidRbc>(net, pid);
       };
     case RbcKind::kGossip:
-      return [gossip_params](sim::Network& net, ProcessId pid, std::uint64_t seed) {
+      return [gossip_params](net::Bus& net, ProcessId pid, std::uint64_t seed) {
         return std::make_unique<GossipRbc>(net, pid, seed, gossip_params);
       };
     case RbcKind::kOracle:
-      return [](sim::Network& net, ProcessId pid, std::uint64_t) {
+      return [](net::Bus& net, ProcessId pid, std::uint64_t) {
         return std::make_unique<OracleRbc>(net, pid);
       };
   }

@@ -25,7 +25,7 @@ std::vector<ProcessId> GossipRbc::sample_of(std::uint64_t system_seed,
   return ids;
 }
 
-GossipRbc::GossipRbc(sim::Network& net, ProcessId pid, std::uint64_t system_seed,
+GossipRbc::GossipRbc(net::Bus& net, ProcessId pid, std::uint64_t system_seed,
                      GossipParams params)
     : net_(net), pid_(pid) {
   const std::uint32_t n = net.n();
@@ -53,7 +53,7 @@ GossipRbc::GossipRbc(sim::Network& net, ProcessId pid, std::uint64_t system_seed
     }
   }
 
-  net_.subscribe(pid_, sim::Channel::kGossip,
+  net_.subscribe(pid_, net::Channel::kGossip,
                  [this](ProcessId from, BytesView data) { on_message(from, data); });
 }
 
@@ -67,7 +67,7 @@ void GossipRbc::broadcast(Round r, Bytes payload) {
   // The sender seeds dissemination through its own gossip sample and also
   // processes the payload locally (self-delivery path).
   for (ProcessId to : gossip_targets_) {
-    net_.send(pid_, to, sim::Channel::kGossip, msg);
+    net_.send(pid_, to, net::Channel::kGossip, msg);
   }
   const InstanceKey key{pid_, r};
   Instance& inst = instances_[key];
@@ -96,7 +96,7 @@ void GossipRbc::on_message(ProcessId from, BytesView data) {
       w.blob(payload);
       const Bytes msg = std::move(w).take();
       for (ProcessId to : gossip_targets_) {
-        if (to != from) net_.send(pid_, to, sim::Channel::kGossip, msg);
+        if (to != from) net_.send(pid_, to, net::Channel::kGossip, msg);
       }
     }
     handle_payload(key, inst, std::move(payload));
@@ -137,7 +137,7 @@ void GossipRbc::handle_payload(const InstanceKey& key, Instance& inst,
     w.raw(BytesView{inst.payload_digest.data(), inst.payload_digest.size()});
     const Bytes msg = std::move(w).take();
     for (ProcessId to : echo_subscribers_) {
-      net_.send(pid_, to, sim::Channel::kGossip, msg);
+      net_.send(pid_, to, net::Channel::kGossip, msg);
     }
   }
   maybe_deliver(key, inst);

@@ -37,7 +37,7 @@ struct GossipParams {
 
 class GossipRbc final : public ReliableBroadcast {
  public:
-  GossipRbc(sim::Network& net, ProcessId pid, std::uint64_t system_seed,
+  GossipRbc(net::Bus& net, ProcessId pid, std::uint64_t system_seed,
             GossipParams params = {});
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
@@ -74,7 +74,7 @@ class GossipRbc final : public ReliableBroadcast {
                                           std::uint32_t n, ProcessId owner,
                                           std::uint32_t size, const char* tag);
 
-  sim::Network& net_;
+  net::Bus& net_;
   ProcessId pid_;
   DeliverFn deliver_;
   std::uint32_t fanout_;

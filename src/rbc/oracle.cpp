@@ -2,8 +2,8 @@
 
 namespace dr::rbc {
 
-OracleRbc::OracleRbc(sim::Network& net, ProcessId pid) : net_(net), pid_(pid) {
-  net_.subscribe(pid_, sim::Channel::kOracle,
+OracleRbc::OracleRbc(net::Bus& net, ProcessId pid) : net_(net), pid_(pid) {
+  net_.subscribe(pid_, net::Channel::kOracle,
                  [this](ProcessId from, BytesView data) { on_message(from, data); });
 }
 
@@ -11,7 +11,7 @@ void OracleRbc::broadcast(Round r, Bytes payload) {
   ByteWriter w(payload.size() + 12);
   w.u64(r);
   w.blob(payload);
-  net_.broadcast(pid_, sim::Channel::kOracle, std::move(w).take());
+  net_.broadcast(pid_, net::Channel::kOracle, std::move(w).take());
 }
 
 void OracleRbc::on_message(ProcessId from, BytesView data) {

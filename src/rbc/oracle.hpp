@@ -17,7 +17,7 @@ namespace dr::rbc {
 
 class OracleRbc final : public ReliableBroadcast {
  public:
-  OracleRbc(sim::Network& net, ProcessId pid);
+  OracleRbc(net::Bus& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
   void broadcast(Round r, Bytes payload) override;
@@ -25,7 +25,7 @@ class OracleRbc final : public ReliableBroadcast {
  private:
   void on_message(ProcessId from, BytesView data);
 
-  sim::Network& net_;
+  net::Bus& net_;
   ProcessId pid_;
   DeliverFn deliver_;
   std::set<std::pair<ProcessId, Round>> delivered_;  // Integrity guard

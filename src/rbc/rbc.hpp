@@ -18,7 +18,7 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
-#include "sim/network.hpp"
+#include "net/bus.hpp"
 
 namespace dr::rbc {
 
@@ -42,6 +42,6 @@ class ReliableBroadcast {
 /// Factory signature used by the system harness so every experiment can be
 /// parameterized over the broadcast instantiation.
 using RbcFactory = std::function<std::unique_ptr<ReliableBroadcast>(
-    sim::Network& net, ProcessId pid, std::uint64_t seed)>;
+    net::Bus& net, ProcessId pid, std::uint64_t seed)>;
 
 }  // namespace dr::rbc

@@ -12,24 +12,15 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "net/bus.hpp"
 #include "sim/simulator.hpp"
 
 namespace dr::sim {
 
-/// Protocol multiplexing label. Each protocol component subscribes to one
-/// channel; a (to, channel) pair identifies the delivery target.
-enum class Channel : std::uint32_t {
-  kBracha = 1,
-  kAvid = 2,
-  kGossip = 3,
-  kCoin = 4,
-  kVaba = 5,
-  kDumbo = 6,
-  kOracle = 7,
-  kApp = 8,
-  kBba = 9,
-};
-inline constexpr std::uint32_t kChannelCount = 10;
+/// The Channel mux now lives in net/ (it is part of the wire contract shared
+/// with the real transports); these aliases keep sim-facing code unchanged.
+using Channel = net::Channel;
+using net::kChannelCount;
 
 /// Chooses per-message delays. The adversary of the asynchronous model *is*
 /// the delay model: it may reorder arbitrarily but must keep delays finite
@@ -69,28 +60,30 @@ struct TrafficCounter {
   std::uint64_t bytes_delivered = 0;
 };
 
-class Network {
+/// The simulated network realizes the abstract net::Bus contract under a
+/// discrete-event clock and an adversarial delay model; the same protocol
+/// components also run over net::Transport in the real-concurrency runtime.
+class Network final : public net::Bus {
  public:
-  using Handler =
-      std::function<void(ProcessId from, BytesView payload)>;
+  using Handler = net::Bus::Handler;
 
   Network(Simulator& sim, Committee committee, std::unique_ptr<DelayModel> delays);
 
   Simulator& simulator() { return sim_; }
-  const Committee& committee() const { return committee_; }
+  const Committee& committee() const override { return committee_; }
   std::uint32_t n() const { return committee_.n; }
 
   /// Registers the delivery callback for (process, channel). At most one
   /// handler per pair; re-registration replaces (supports test harness reuse).
-  void subscribe(ProcessId pid, Channel channel, Handler handler);
+  void subscribe(ProcessId pid, Channel channel, Handler handler) override;
 
   /// Point-to-point send. Counted against `from`'s traffic. Self-sends are
   /// delivered through the queue like any other message (with delay), which
   /// keeps protocol logic uniform.
-  void send(ProcessId from, ProcessId to, Channel channel, Bytes payload);
+  void send(ProcessId from, ProcessId to, Channel channel, Bytes payload) override;
 
   /// Convenience: sends the same payload to all n processes (including self).
-  void broadcast(ProcessId from, Channel channel, const Bytes& payload);
+  void broadcast(ProcessId from, Channel channel, const Bytes& payload) override;
 
   /// Marks a process as (adaptively) corrupted. Per the model, the adversary
   /// may drop this process's messages that are still in flight; we drop them

@@ -14,6 +14,7 @@
 #include "core/system.hpp"
 #include "metrics/stats.hpp"
 #include "txpool/mempool.hpp"
+#include "sim/network.hpp"
 
 namespace dr::txpool {
 

@@ -8,6 +8,7 @@
 #include "coin/threshold_coin.hpp"
 #include "rbc/factory.hpp"
 #include "sim/adversary.hpp"
+#include "sim/network.hpp"
 
 namespace dr::baselines {
 namespace {

@@ -6,6 +6,7 @@
 
 #include "baselines/smr/slot_smr.hpp"
 #include "rbc/avid_dispersal.hpp"
+#include "sim/network.hpp"
 
 namespace dr::baselines {
 namespace {

@@ -8,6 +8,7 @@
 #include "coin/coin.hpp"
 #include "coin/dealer.hpp"
 #include "coin/threshold_coin.hpp"
+#include "sim/network.hpp"
 
 namespace dr::coin {
 namespace {

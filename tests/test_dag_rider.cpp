@@ -9,6 +9,7 @@
 #include <set>
 
 #include "core/system.hpp"
+#include "sim/network.hpp"
 
 namespace dr::core {
 namespace {

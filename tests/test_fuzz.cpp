@@ -11,7 +11,9 @@
 #include "core/system.hpp"
 #include "crypto/merkle.hpp"
 #include "dag/vertex.hpp"
+#include "net/frame.hpp"
 #include "txpool/mempool.hpp"
+#include "sim/network.hpp"
 
 namespace dr {
 namespace {
@@ -47,6 +49,46 @@ TEST(Fuzz, VertexBitflipsRoundTripOrFail) {
     mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
     auto result = dag::Vertex::deserialize(mutated);  // must not crash
     (void)result;
+  }
+  SUCCEED();
+}
+
+TEST(Fuzz, VertexTruncationsNeverCrashAndRoundTrip) {
+  Xoshiro256 rng(7);
+  dag::Vertex v;
+  v.round = 9;
+  v.source = 2;
+  v.block = random_bytes(rng, 80);
+  v.strong_edges = {0, 1, 3};
+  v.weak_edges = {dag::VertexId{1, 4}};
+  const Bytes wire = v.serialize();
+  // Every proper prefix must be rejected cleanly...
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    auto result = dag::Vertex::deserialize(BytesView{wire.data(), cut});
+    EXPECT_FALSE(result.ok()) << "truncation at " << cut << " parsed";
+  }
+  // ...and the full encoding round-trips.
+  auto full = dag::Vertex::deserialize(wire);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().block, v.block);
+  EXPECT_EQ(full.value().strong_edges, v.strong_edges);
+}
+
+TEST(Fuzz, FrameDecoderRandomChunkStreamsNeverCrash) {
+  Xoshiro256 rng(8);
+  for (int stream = 0; stream < 500; ++stream) {
+    net::FrameDecoder dec(4);
+    // Interleave valid frames with garbage chunks in one byte stream.
+    for (int step = 0; step < 10 && !dec.dead(); ++step) {
+      if (rng.below(2) == 0) {
+        dec.feed(BytesView(net::encode_frame(
+            rng.below(4), net::Channel::kBracha, random_bytes(rng, 60))));
+      } else {
+        dec.feed(BytesView(random_bytes(rng, 60)));
+      }
+      while (dec.next().has_value()) {
+      }
+    }
   }
   SUCCEED();
 }

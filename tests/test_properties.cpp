@@ -8,7 +8,9 @@
 #include <map>
 #include <set>
 
+#include "core/audit.hpp"
 #include "core/system.hpp"
+#include "sim/network.hpp"
 
 namespace dr::core {
 namespace {
@@ -24,33 +26,22 @@ struct Scenario {
 
 class PropertySweep : public ::testing::TestWithParam<Scenario> {};
 
-/// Full-strength audit of a finished run.
+/// Full-strength audit of a finished run. Items 1-3 (the log-level BAB
+/// invariants) go through the shared auditors in core/audit.hpp — the same
+/// functions that judge real-concurrency cluster runs — so the simulator
+/// sweeps and the threaded runtime are held to literally the same predicate.
 void audit(System& sys) {
-  // 1. Total order (prefix consistency) across correct processes.
-  EXPECT_TRUE(prefix_consistent(sys));
-
   const auto ids = sys.correct_ids();
 
-  // 2. Integrity: at most one delivery per (round, source) per process.
+  // 1-3. Total order, integrity, commit monotonicity + agreement.
+  std::vector<std::vector<DeliveredRecord>> delivered_logs;
+  std::vector<std::vector<CommitRecord>> commit_logs;
   for (ProcessId pid : ids) {
-    std::set<std::pair<Round, ProcessId>> seen;
-    for (const DeliveredRecord& r : sys.node(pid).delivered()) {
-      ASSERT_TRUE(seen.emplace(r.round, r.source).second);
-    }
+    delivered_logs.push_back(sys.node(pid).delivered());
+    commit_logs.push_back(sys.node(pid).commits());
   }
-
-  // 3. Commit monotonicity + cross-process commit agreement.
-  for (std::size_t a = 0; a + 1 < ids.size(); ++a) {
-    const auto& ca = sys.node(ids[a]).commits();
-    const auto& cb = sys.node(ids[a + 1]).commits();
-    for (std::size_t i = 0; i + 1 < ca.size(); ++i) {
-      ASSERT_LT(ca[i].wave, ca[i + 1].wave);
-    }
-    const std::size_t len = std::min(ca.size(), cb.size());
-    for (std::size_t i = 0; i < len; ++i) {
-      ASSERT_EQ(ca[i].leader, cb[i].leader);
-    }
-  }
+  const auto violation = audit_logs(delivered_logs, commit_logs);
+  ASSERT_FALSE(violation.has_value()) << *violation;
 
   // 4. DAG convergence: for every (round, source) present at two correct
   // processes, the vertex content (block digest + edges) must be identical

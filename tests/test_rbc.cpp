@@ -7,6 +7,7 @@
 
 #include "crypto/sha256.hpp"
 #include "rbc_test_util.hpp"
+#include "sim/network.hpp"
 
 namespace dr::rbc {
 namespace {
