@@ -46,7 +46,7 @@ void run() {
     std::uint64_t correct_so_far = 0;
     std::size_t window = 0;
     for (std::size_t i = 0; i < log.size(); ++i) {
-      correct_so_far += sys.is_correct(log[i].source) ? 1 : 0;
+      correct_so_far += sys.is_correct(log[i].source) ? 1u : 0u;
       if ((i + 1) % c.quorum() == 0) {
         ++window;
         min_share = std::min(

@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
       table.add_row(
           {rbc::to_string(kind), std::to_string(n),
            metrics::Table::fmt_u64(swarm.committed()),
-           metrics::Table::fmt(swarm.committed() / elapsed * 1000.0, 1),
+           metrics::Table::fmt(
+               static_cast<double>(swarm.committed()) / elapsed * 1000.0, 1),
            metrics::Table::fmt(swarm.latency().percentile(0.50), 0),
            metrics::Table::fmt(swarm.latency().percentile(0.95), 0),
            metrics::Table::fmt(

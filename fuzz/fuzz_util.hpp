@@ -1,0 +1,26 @@
+// Shared shape of the libFuzzer harnesses. Each harness implements:
+//   LLVMFuzzerTestOneInput — the entry point libFuzzer drives (and the
+//     standalone driver calls when built without -fsanitize=fuzzer);
+//   seed_inputs — structurally interesting inputs, produced with the real
+//     encoders. They are written to fuzz/corpus/<harness>/ by
+//     `<harness> --make-corpus DIR` and double as the base inputs of the
+//     standalone driver's deterministic sweep.
+// Invariant violations abort (DR_ASSERT), which both libFuzzer and ctest
+// observe as a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace dr::fuzz {
+
+/// Canonical seeds for this harness, built with the production encoders.
+std::vector<Bytes> seed_inputs();
+
+}  // namespace dr::fuzz

@@ -1,0 +1,82 @@
+// Fuzzes dag::Vertex::deserialize — the parser behind every r_delivered
+// vertex, i.e. the direct Byzantine input surface of Algorithm 2. Checked
+// invariants:
+//   * no crash / unbounded allocation on arbitrary bytes (the edge-count
+//     caps must hold before any reserve());
+//   * accepted inputs survive a serialize/deserialize round trip with all
+//     fields intact (a lossy codec would let two correct processes disagree
+//     about the same delivered vertex, breaking DAG convergence);
+//   * structural validation stays pure: validate() never aborts on any
+//     parsed vertex, however hostile (rejection is the Byzantine-tolerant
+//     path and must stay crash-free).
+#include <cstddef>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "dag/vertex.hpp"
+#include "fuzz_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace dr;
+  auto parsed = dag::Vertex::deserialize(BytesView{data, size});
+  if (!parsed.ok()) return 0;
+  dag::Vertex v = std::move(parsed).value();
+
+  // Round trip: re-encoding the parsed vertex must preserve every field.
+  auto again = dag::Vertex::deserialize(v.serialize());
+  DR_ASSERT_MSG(again.ok(), "re-encoded vertex failed to parse");
+  const dag::Vertex& w = again.value();
+  DR_ASSERT_MSG(w.block == v.block && w.strong_edges == v.strong_edges &&
+                    w.weak_edges == v.weak_edges &&
+                    w.has_coin_share == v.has_coin_share &&
+                    (!v.has_coin_share || w.coin_share == v.coin_share),
+                "vertex codec round trip lost a field");
+  return 0;
+}
+
+namespace dr::fuzz {
+
+std::vector<Bytes> seed_inputs() {
+  std::vector<Bytes> seeds;
+  // Minimal vertex: empty block, no edges, no coin share.
+  seeds.push_back(dag::Vertex{}.serialize());
+  // Typical round-2 vertex of an f=1 committee.
+  {
+    dag::Vertex v;
+    v.round = 2;
+    v.source = 1;
+    v.block = Bytes(48, 0x42);
+    v.strong_edges = {0, 1, 2};
+    seeds.push_back(v.serialize());
+  }
+  // Weak edges + piggybacked coin share (paper footnote 1 shape).
+  {
+    dag::Vertex v;
+    v.round = 5;
+    v.source = 3;
+    v.block = Bytes(16, 0x07);
+    v.strong_edges = {0, 2, 3};
+    v.weak_edges = {dag::VertexId{1, 2}, dag::VertexId{2, 1}};
+    v.has_coin_share = true;
+    v.coin_share = 0x1234'5678'9abc'def0ULL;
+    seeds.push_back(v.serialize());
+  }
+  // Hostile shapes: edge-count prefixes at the caps.
+  {
+    ByteWriter w(32);
+    w.blob(BytesView{});
+    w.u32(4096);  // strong-edge count at the cap, but no edge bytes
+    seeds.push_back(std::move(w).take());
+  }
+  {
+    ByteWriter w(32);
+    w.blob(BytesView{});
+    w.u32(0);
+    w.u32(1u << 20);  // weak-edge count at the cap
+    seeds.push_back(std::move(w).take());
+  }
+  return seeds;
+}
+
+}  // namespace dr::fuzz

@@ -20,7 +20,7 @@ struct KvCommand {
   Bytes expected;  // for CAS (required current value)
 
   Bytes encode() const;
-  static bool decode(BytesView data, KvCommand& out);
+  [[nodiscard]] static bool decode(BytesView data, KvCommand& out);
 };
 
 class KvStore final : public StateMachine {

@@ -10,8 +10,8 @@ Bytes encode_candidate(ProcessId proposer, const dr::crypto::Digest& root) {
   return std::move(w).take();
 }
 
-bool decode_candidate(BytesView data, ProcessId& proposer,
-                      dr::crypto::Digest& root) {
+[[nodiscard]] bool decode_candidate(BytesView data, ProcessId& proposer,
+                                    dr::crypto::Digest& root) {
   ByteReader in(data);
   proposer = in.u32();
   Bytes raw = in.raw(dr::crypto::kDigestSize);

@@ -15,7 +15,7 @@ namespace dr {
 /// errors are diagnostic strings because protocol code never branches on
 /// error *kind* — a bad message is dropped either way.
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   static Expected failure(std::string reason) {

@@ -35,11 +35,24 @@ struct Committee {
   }
 
   /// 2f + 1, the quorum used for round advancement and the commit rule.
-  constexpr std::uint32_t quorum() const { return 2 * f + 1; }
+  [[nodiscard]] constexpr std::uint32_t quorum() const { return 2 * f + 1; }
   /// f + 1, the intersection bound / coin reconstruction threshold.
-  constexpr std::uint32_t small_quorum() const { return f + 1; }
-  constexpr bool valid() const { return n >= 1 && n > 3 * f; }
+  [[nodiscard]] constexpr std::uint32_t small_quorum() const { return f + 1; }
+  [[nodiscard]] constexpr bool valid() const { return n >= 1 && n > 3 * f; }
 };
+
+/// Named quorum helpers for call sites that hold a process count rather than
+/// a Committee. These four functions (plus the Committee members above) are
+/// the only places quorum arithmetic may be written — tools/daglint's
+/// quorum-arith rule rejects inline `2f+1`-style expressions everywhere
+/// else, because off-by-one quorums break the Lemma 4 intersection argument
+/// silently.
+[[nodiscard]] constexpr std::uint32_t quorum_2f1(std::uint32_t n) {
+  return Committee::for_n(n).quorum();
+}
+[[nodiscard]] constexpr std::uint32_t weak_quorum_f1(std::uint32_t n) {
+  return Committee::for_n(n).small_quorum();
+}
 
 /// Number of rounds per wave (the paper fixes 4; ablations vary it).
 inline constexpr Round kRoundsPerWave = 4;

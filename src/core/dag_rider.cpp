@@ -82,6 +82,15 @@ void DagRider::handle_wave(Wave w, ProcessId leader_process) {
       v = *vp;
     }
   }
+  // Commit rule postcondition (Lemma 5): the directly committed leader
+  // really has a 2f+1 strong support in the wave's last round — rechecked
+  // here so a future refactor of the gate above cannot silently weaken it.
+  DR_ENSURE(dag.strong_support_in_round(wave_round(w, rpw, rpw), *leader) >=
+                dag.committee().quorum(),
+            "direct commit without a 2f+1 strong-path quorum");
+#if DR_CONTRACTS_ENABLED
+  decide_monotone_.on_decide(w);
+#endif
   decided_wave_ = w;  // line 44
   order_vertices(leaders_stack);
 
@@ -128,7 +137,12 @@ void DagRider::order_vertices(
     for (const VertexId& id : to_deliver) {
       const dag::Vertex* vx = dag.get(id);
       DR_ASSERT(vx != nullptr);
-      delivered_vertices_.insert(id);
+      const bool fresh = delivered_vertices_.insert(id).second;
+      // BAB Integrity (§2.1): at most one a_deliver per vertex. The
+      // traversal's skip predicate prunes delivered vertices, so a stale id
+      // here means the causal-closure argument behind that pruning broke.
+      DR_ENSURE(fresh, "vertex a_delivered twice (BAB Integrity)");
+      (void)fresh;
       ++delivered_count_;
       if (a_deliver_) a_deliver_(vx->block, vx->round, vx->source);
     }

@@ -14,9 +14,26 @@
 #include <vector>
 
 #include "coin/coin.hpp"
+#include "core/contract.hpp"
 #include "dag/builder.hpp"
 
 namespace dr::core {
+
+/// Contract bookkeeping for the decide step (Alg. 3 line 44): waves are
+/// decided in strictly increasing order, which is what makes the line 40
+/// look-back exhaustive and the delivered order a growing prefix (Lemmas
+/// 7-8, Total Order). DagRider owns one; it is a standalone struct so the
+/// contract suite (tests/test_contract.cpp) can prove the invariant fires
+/// on an out-of-order commit without reaching into DagRider's internals.
+struct WaveCommitMonotone {
+  Wave last_decided = 0;
+
+  void on_decide(Wave w) {
+    DR_REQUIRE(w > last_decided,
+               "wave decided out of order (Alg. 3 line 44 monotonicity)");
+    last_decided = w;
+  }
+};
 
 /// One a_deliver output record.
 struct Delivered {
@@ -89,6 +106,7 @@ class DagRider {
   std::uint64_t waves_evaluated_ = 0;
   bool processing_ = false;
   Round gc_depth_rounds_ = 0;  ///< 0 = GC disabled (the paper's semantics)
+  DR_CONTRACT_STATE(WaveCommitMonotone decide_monotone_;)
 };
 
 }  // namespace dr::core

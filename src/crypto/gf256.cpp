@@ -8,7 +8,7 @@ const GF256::Tables& GF256::tables() {
   static const Tables t = [] {
     Tables t{};
     std::uint8_t x = 1;
-    for (int i = 0; i < 255; ++i) {
+    for (std::size_t i = 0; i < 255; ++i) {
       t.exp[i] = x;
       t.log[x] = static_cast<std::uint8_t>(i);
       // Multiply by the generator 0x03 = x + 1: x*3 = (x<<1) ^ x, reduced.
@@ -17,7 +17,7 @@ const GF256::Tables& GF256::tables() {
       if (hi) xt ^= 0x1b;  // reduce modulo x^8+x^4+x^3+x+1
       x = static_cast<std::uint8_t>(xt ^ x);
     }
-    for (int i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+    for (std::size_t i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
     t.log[0] = 0;  // unused; mul guards zero operands
     return t;
   }();
@@ -27,14 +27,14 @@ const GF256::Tables& GF256::tables() {
 std::uint8_t GF256::inv(std::uint8_t a) {
   DR_ASSERT_MSG(a != 0, "GF256 inverse of zero");
   const Tables& t = tables();
-  return t.exp[255 - t.log[a]];
+  return t.exp[255u - t.log[a]];
 }
 
 std::uint8_t GF256::div(std::uint8_t a, std::uint8_t b) {
   DR_ASSERT_MSG(b != 0, "GF256 division by zero");
   if (a == 0) return 0;
   const Tables& t = tables();
-  return t.exp[(t.log[a] + 255 - t.log[b]) % 255];
+  return t.exp[(t.log[a] + 255u - t.log[b]) % 255u];
 }
 
 }  // namespace dr::crypto

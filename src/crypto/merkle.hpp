@@ -17,7 +17,7 @@ struct MerkleProof {
   std::vector<Digest> siblings;  // bottom-up
 
   Bytes serialize() const;
-  static bool deserialize(ByteReader& in, MerkleProof& out);
+  [[nodiscard]] static bool deserialize(ByteReader& in, MerkleProof& out);
   /// Wire size in bytes; used for communication accounting.
   std::size_t wire_size() const { return 12 + siblings.size() * kDigestSize; }
 };

@@ -68,7 +68,9 @@ std::vector<Bytes> ReedSolomon::encode(BytesView data) const {
 
   std::vector<Bytes> shards(k_ + m_);
   Bytes flat(shard_size * k_, 0);
-  for (int i = 0; i < 8; ++i) flat[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  for (std::size_t i = 0; i < 8; ++i) {
+    flat[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
   std::copy(data.begin(), data.end(), flat.begin() + 8);
 
   for (std::uint32_t i = 0; i < k_; ++i) {
@@ -133,7 +135,9 @@ Expected<Bytes> ReedSolomon::decode(
   for (const Bytes& row : rows) flat.insert(flat.end(), row.begin(), row.end());
 
   std::uint64_t len = 0;
-  for (int i = 0; i < 8; ++i) len |= static_cast<std::uint64_t>(flat[i]) << (8 * i);
+  for (std::size_t i = 0; i < 8; ++i) {
+    len |= static_cast<std::uint64_t>(flat[i]) << (8 * i);
+  }
   if (len + 8 > flat.size()) {
     return Expected<Bytes>::failure("corrupt length header");
   }

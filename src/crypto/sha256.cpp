@@ -118,7 +118,7 @@ Digest Sha256::finish() {
   compress(buf_.data());
 
   Digest out{};
-  for (int i = 0; i < 8; ++i) {
+  for (std::size_t i = 0; i < 8; ++i) {
     out[4 * i] = static_cast<std::uint8_t>(h_[i] >> 24);
     out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
     out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
@@ -154,7 +154,9 @@ Digest sha256_tagged(std::string_view tag, std::initializer_list<BytesView> part
 
 std::uint64_t digest_prefix_u64(const Digest& d) {
   std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  }
   return v;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "core/contract.hpp"
 
 namespace dr::dag {
 
@@ -154,14 +155,33 @@ void DagBuilder::pump() {
     }
   }
   pumping_ = false;
+#if DR_CONTRACTS_ENABLED
+  // Flooding-defense accounting: the per-source quota counters must agree
+  // with the buffer's contents, or the quota either leaks (source starves
+  // forever) or stops bounding memory (Byzantine flooding wins).
+  std::size_t accounted = 0;
+  for (std::size_t per_source : buffered_per_source_) accounted += per_source;
+  DR_INVARIANT(accounted == buffer_.size(),
+               "buffer quota accounting diverged from buffer contents");
+#endif
 }
 
 void DagBuilder::advance_round() {
   if (round_ % options_.rounds_per_wave == 0 && round_ > 0 && wave_ready_) {
     wave_ready_(round_ / options_.rounds_per_wave);  // Alg. 2 line 12
   }
+  // Round ordering (Alg. 2 lines 8-10): a correct process broadcasts exactly
+  // one vertex per round and only after seeing 2f+1 vertices in the current
+  // round; skipping ahead would broadcast a vertex whose strong edges cannot
+  // reference a full quorum of round_-1 vertices.
+  DR_REQUIRE(dag_.round_size(round_) >= committee_.quorum(),
+             "round advanced without a 2f+1 quorum in the current round");
   round_ += 1;
   Vertex v = create_new_vertex(round_);
+  DR_ENSURE(v.strong_edges.size() >= committee_.quorum() &&
+                v.round == round_ && v.source == pid_,
+            "own vertex must reference a full strong-edge quorum (Alg. 2 "
+            "line 19)");
   DR_LOG_TRACE("p%u broadcasts vertex round=%llu strong=%zu weak=%zu", pid_,
                static_cast<unsigned long long>(round_), v.strong_edges.size(),
                v.weak_edges.size());

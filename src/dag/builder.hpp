@@ -88,7 +88,7 @@ class DagBuilder {
   void on_deliver(ProcessId source, Round r, Bytes payload);
   /// Drains the buffer and advances rounds until quiescent (Alg. 2 loop).
   void pump();
-  bool try_insert_buffered();
+  [[nodiscard]] bool try_insert_buffered();
   bool can_advance() const;
   void advance_round();
   Vertex create_new_vertex(Round r);

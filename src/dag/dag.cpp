@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "core/contract.hpp"
 
 namespace dr::dag {
 
@@ -35,7 +36,7 @@ const Vertex* Dag::get(VertexId id) const {
 std::uint32_t Dag::round_size(Round r) const {
   if (r >= rounds_.size()) return 0;
   std::uint32_t c = 0;
-  for (const auto& slot : rounds_[r]) c += slot.has_value() ? 1 : 0;
+  for (const auto& slot : rounds_[r]) c += slot.has_value() ? 1u : 0u;
   return c;
 }
 
@@ -51,6 +52,12 @@ std::vector<ProcessId> Dag::round_sources(Round r) const {
 void Dag::insert(Vertex v) {
   DR_ASSERT_MSG(v.source < committee_.n, "vertex source out of range");
   DR_ASSERT_MSG(v.round >= 1, "only genesis lives in round 0");
+  // Alg. 2 line 25 / Lemma 4: every non-genesis vertex carries >= 2f+1
+  // strong edges, so any two committed leaders' strong supports intersect
+  // in a correct process. A forged vertex with only 2f edges reaching this
+  // point means the validate() gate upstream was bypassed.
+  DR_REQUIRE(v.strong_edges.size() >= committee_.quorum(),
+             "vertex inserted with fewer than 2f+1 strong edges");
   while (rounds_.size() <= v.round) rounds_.emplace_back(committee_.n);
   DR_ASSERT_MSG(!rounds_[v.round][v.source].has_value(),
                 "duplicate vertex insert violates RBC Integrity");

@@ -51,6 +51,11 @@ void FrameDecoder::feed(BytesView chunk) {
 
 std::optional<Frame> FrameDecoder::next() {
   if (dead_) return std::nullopt;
+  // Consumed prefix can never pass the write cursor; a violation means the
+  // header/payload accounting below drifted and the decoder would slice
+  // frames at wrong offsets from then on.
+  DR_INVARIANT(pos_ <= buf_.size(),
+               "decoder consumed past the end of its buffer");
   const std::size_t avail = buf_.size() - pos_;
   if (avail < kFrameHeaderBytes) return std::nullopt;
   ByteReader in(BytesView{buf_.data() + pos_, avail});

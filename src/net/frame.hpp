@@ -13,6 +13,7 @@
 #include "common/bytes.hpp"
 #include "common/expected.hpp"
 #include "common/types.hpp"
+#include "core/contract.hpp"
 #include "net/channel.hpp"
 
 namespace dr::net {
@@ -66,7 +67,7 @@ class FrameDecoder {
   void feed(BytesView chunk);
 
   /// Pops the next complete frame, if one is buffered.
-  std::optional<Frame> next();
+  [[nodiscard]] std::optional<Frame> next();
 
   bool dead() const { return dead_; }
   const std::string& error() const { return error_; }
@@ -75,6 +76,12 @@ class FrameDecoder {
   void fail(std::string why) {
     dead_ = true;
     error_ = std::move(why);
+    // Dead-state reachability: every protocol violation must land here with
+    // a diagnosable reason, and the state is absorbing (feed/next no-op
+    // afterwards) — resynchronizing inside a corrupted length-prefixed
+    // stream would let an adversary splice frames across the corruption.
+    DR_ENSURE(dead_ && !error_.empty(),
+              "decoder failure must record a reason and go dead");
   }
 
   std::uint32_t n_;

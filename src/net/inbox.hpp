@@ -55,7 +55,8 @@ class Inbox {
 
   /// Appends everything pending to `out`. If the inbox is empty, blocks up
   /// to `wait` for the first message. Returns the number appended.
-  std::size_t pop_all(std::vector<Frame>& out, std::chrono::milliseconds wait) {
+  [[nodiscard]] std::size_t pop_all(std::vector<Frame>& out,
+                                    std::chrono::milliseconds wait) {
     std::unique_lock<std::mutex> lk(mu_);
     if (queue_.empty() && !closed_) {
       not_empty_.wait_for(lk, wait,

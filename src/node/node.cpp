@@ -98,7 +98,7 @@ void Node::loop() {
   std::vector<net::Frame> batch;
   while (running_.load(std::memory_order_acquire)) {
     batch.clear();
-    inbox_.pop_all(batch, opts_.idle_wait);
+    (void)inbox_.pop_all(batch, opts_.idle_wait);  // batch itself is the result
     for (const net::Frame& f : batch) {
       bus_.dispatch(f);
     }

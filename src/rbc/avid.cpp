@@ -172,6 +172,7 @@ void AvidRbc::maybe_progress(const InstanceKey& key, const crypto::Digest& root)
     inst.delivered = true;
     Bytes payload = std::move(*pr.reconstructed);
     inst.by_root.clear();
+    contract_on_deliver(key.source, key.round);
     if (deliver_) deliver_(key.source, key.round, payload);
   }
 }

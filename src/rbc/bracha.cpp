@@ -88,6 +88,7 @@ void BrachaRbc::maybe_progress(const InstanceKey& key, const crypto::Digest& dig
   }
   if (pp.readies.size() >= quorum && pp.have_payload && !inst.delivered) {
     inst.delivered = true;
+    contract_on_deliver(key.source, key.round);
     if (deliver_) deliver_(key.source, key.round, pp.payload);
     // Keep the instance so late messages are ignored (Integrity), but free
     // the bulky per-payload state.

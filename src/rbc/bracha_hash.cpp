@@ -127,6 +127,7 @@ void BrachaHashRbc::maybe_progress(const InstanceKey& key,
     // Keep the payload: laggards that saw only READY digests pull it from
     // echoers/deliverers after the fact.
     inst.by_digest.clear();
+    contract_on_deliver(key.source, key.round);
     if (deliver_) deliver_(key.source, key.round, inst.payload);
     return;
   }

@@ -148,6 +148,7 @@ void GossipRbc::maybe_deliver(const InstanceKey& key, Instance& inst) {
   auto it = inst.echoes.find(inst.payload_digest);
   if (it == inst.echoes.end() || it->second.size() < echo_needed_) return;
   inst.delivered = true;
+  contract_on_deliver(key.source, key.round);
   if (deliver_) deliver_(key.source, key.round, inst.payload);
 }
 

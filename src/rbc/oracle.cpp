@@ -23,6 +23,7 @@ void OracleRbc::on_message(ProcessId from, BytesView data) {
   // sender is silently reduced to its first message, which is exactly the
   // guarantee a real RBC provides.
   if (!delivered_.emplace(from, r).second) return;
+  contract_on_deliver(from, r);
   if (deliver_) deliver_(from, r, payload);
 }
 

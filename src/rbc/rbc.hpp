@@ -15,9 +15,12 @@
 
 #include <functional>
 #include <memory>
+#include <set>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "core/contract.hpp"
 #include "net/bus.hpp"
 
 namespace dr::rbc {
@@ -37,6 +40,26 @@ class ReliableBroadcast {
   /// (the DAG layer guarantees this; Byzantine components may violate it and
   /// the abstraction's Integrity property masks the damage).
   virtual void broadcast(Round r, Bytes payload) = 0;
+
+ protected:
+  /// Contract hook: every implementation calls this immediately before its
+  /// deliver upcall. Enforces RBC Integrity (§2) — at most one r_deliver per
+  /// (source, round) — independently of each implementation's own
+  /// `delivered` gating, so a refactor of any one instantiation's state
+  /// machine cannot silently re-deliver (the DAG layer's "no equivocation
+  /// past reliable broadcast" assumption, Lemma 2, rests on this).
+  void contract_on_deliver(ProcessId source, Round r) {
+#if DR_CONTRACTS_ENABLED
+    DR_REQUIRE(delivered_contract_.emplace(source, r).second,
+               "duplicate r_deliver for (source, round) — RBC Integrity");
+#else
+    (void)source;
+    (void)r;
+#endif
+  }
+
+ private:
+  DR_CONTRACT_STATE(std::set<std::pair<ProcessId, Round>> delivered_contract_;)
 };
 
 /// Factory signature used by the system harness so every experiment can be

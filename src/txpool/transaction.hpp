@@ -23,7 +23,7 @@ struct Transaction {
     w.u64(submit_time);
     w.blob(payload);
   }
-  static bool deserialize_from(ByteReader& in, Transaction& out) {
+  [[nodiscard]] static bool deserialize_from(ByteReader& in, Transaction& out) {
     out.id = in.u64();
     out.submit_time = in.u64();
     out.payload = in.blob();

@@ -1,0 +1,74 @@
+// Death tests for the protocol contracts (src/core/contract.hpp): prove the
+// macros actually fire on safety-violating states, not just compile. In
+// builds where contracts are compiled out (optimized release without
+// DAGRIDER_PARANOID) the tests skip — the paranoid CI job is the one that
+// exercises them.
+#include <gtest/gtest.h>
+
+#include "core/contract.hpp"
+#include "core/dag_rider.hpp"
+#include "dag/dag.hpp"
+#include "dag/vertex.hpp"
+
+namespace dr {
+namespace {
+
+dag::Vertex forged_vertex(ProcessId source, Round round,
+                          std::vector<ProcessId> strong) {
+  dag::Vertex v;
+  v.source = source;
+  v.round = round;
+  v.block = Bytes{0xBA, 0xD0};
+  v.strong_edges = std::move(strong);
+  return v;
+}
+
+TEST(ContractDeath, ForgedVertexWithOnly2fStrongEdgesAborts) {
+  if (!DR_CONTRACTS_ENABLED) {
+    GTEST_SKIP() << "contracts compiled out in this build";
+  }
+  // f=1: quorum is 3, so two strong edges is exactly the 2f forgery the
+  // validate() gate upstream must never let through (Lemma 4 relies on
+  // 2f+1-sized strong supports intersecting in a correct process).
+  dag::Dag d(Committee::for_f(1));
+  EXPECT_DEATH(d.insert(forged_vertex(0, 1, {0, 1})),
+               "fewer than 2f\\+1 strong edges");
+}
+
+TEST(ContractDeath, QuorumSizedVertexInsertsCleanly) {
+  // Control: the contract must not fire on the legal 2f+1 case.
+  dag::Dag d(Committee::for_f(1));
+  d.insert(forged_vertex(0, 1, {0, 1, 2}));
+  EXPECT_TRUE(d.contains(dag::VertexId{0, 1}));
+}
+
+TEST(ContractDeath, OutOfOrderWaveCommitAborts) {
+  if (!DR_CONTRACTS_ENABLED) {
+    GTEST_SKIP() << "contracts compiled out in this build";
+  }
+  core::WaveCommitMonotone monotone;
+  monotone.on_decide(2);
+  // Deciding wave 1 after wave 2 would re-order committed leader sequences
+  // across processes (Alg. 3 line 44 walks decided waves in order).
+  EXPECT_DEATH(monotone.on_decide(1), "wave decided out of order");
+}
+
+TEST(ContractDeath, RepeatedWaveCommitAborts) {
+  if (!DR_CONTRACTS_ENABLED) {
+    GTEST_SKIP() << "contracts compiled out in this build";
+  }
+  core::WaveCommitMonotone monotone;
+  monotone.on_decide(3);
+  EXPECT_DEATH(monotone.on_decide(3), "wave decided out of order");
+}
+
+TEST(ContractDeath, MonotoneCommitSequenceIsClean) {
+  core::WaveCommitMonotone monotone;
+  monotone.on_decide(1);
+  monotone.on_decide(2);
+  monotone.on_decide(5);  // gaps are fine; regressions are not
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dr

@@ -148,23 +148,25 @@ TEST(Field61, PowLaws) {
 class ShamirParam : public ::testing::TestWithParam<std::pair<int, int>> {};
 
 TEST_P(ShamirParam, ReconstructsFromAnyThresholdSubset) {
-  const auto [threshold, n] = GetParam();
-  Xoshiro256 rng(100 + threshold * 31 + n);
+  const auto threshold = static_cast<std::uint32_t>(GetParam().first);
+  const auto n = static_cast<std::uint32_t>(GetParam().second);
+  Xoshiro256 rng(100 + threshold * 31ull + n);
   const std::uint64_t secret = Field61::reduce(rng());
   auto shares = Shamir::split(secret, threshold, n, rng);
-  ASSERT_EQ(shares.size(), static_cast<std::size_t>(n));
+  ASSERT_EQ(shares.size(), n);
 
   // Any contiguous window of `threshold` shares reconstructs.
-  for (int start = 0; start + threshold <= n; ++start) {
+  for (std::size_t start = 0; start + threshold <= n; ++start) {
     std::vector<crypto::ShamirShare> subset(
-        shares.begin() + start, shares.begin() + start + threshold);
+        shares.begin() + static_cast<std::ptrdiff_t>(start),
+        shares.begin() + static_cast<std::ptrdiff_t>(start + threshold));
     EXPECT_EQ(Shamir::reconstruct(subset), secret);
   }
   // A random non-contiguous subset reconstructs too.
   std::vector<crypto::ShamirShare> subset;
-  std::vector<int> idx(n);
-  for (int i = 0; i < n; ++i) idx[i] = i;
-  for (int i = 0; i < threshold; ++i) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < threshold; ++i) {
     std::swap(idx[i], idx[i + rng.below(n - i)]);
     subset.push_back(shares[idx[i]]);
   }

@@ -81,8 +81,9 @@ TEST(Fuzz, FrameDecoderRandomChunkStreamsNeverCrash) {
     // Interleave valid frames with garbage chunks in one byte stream.
     for (int step = 0; step < 10 && !dec.dead(); ++step) {
       if (rng.below(2) == 0) {
-        dec.feed(BytesView(net::encode_frame(
-            rng.below(4), net::Channel::kBracha, random_bytes(rng, 60))));
+        dec.feed(BytesView(net::encode_frame(static_cast<ProcessId>(rng.below(4)),
+                                             net::Channel::kBracha,
+                                             random_bytes(rng, 60))));
       } else {
         dec.feed(BytesView(random_bytes(rng, 60)));
       }
@@ -131,7 +132,7 @@ TEST(Fuzz, ProtocolChannelsSurviveGarbageSpray) {
   const sim::Channel channels[] = {sim::Channel::kBracha, sim::Channel::kCoin,
                                    sim::Channel::kAvid, sim::Channel::kGossip,
                                    sim::Channel::kOracle};
-  for (int burst = 0; burst < 40; ++burst) {
+  for (std::uint64_t burst = 0; burst < 40; ++burst) {
     sys.simulator().schedule(burst * 50, [&sys, &rng, &channels] {
       for (sim::Channel ch : channels) {
         for (ProcessId to = 0; to < 3; ++to) {

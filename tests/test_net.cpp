@@ -34,7 +34,7 @@ Bytes random_bytes(Xoshiro256& rng, std::size_t max_len) {
 TEST(FrameCodec, RoundTripWholeAndByteAtATime) {
   Xoshiro256 rng(11);
   for (int i = 0; i < 200; ++i) {
-    const ProcessId from = rng.below(7);
+    const auto from = static_cast<ProcessId>(rng.below(7));
     const Channel ch = static_cast<Channel>(1 + rng.below(kChannelCount - 1));
     const Bytes payload = random_bytes(rng, 300);
     const Bytes wire = encode_frame(from, ch, BytesView(payload));
@@ -173,7 +173,7 @@ TEST(InboxTest, MpscStressDeliversEverything) {
   std::vector<Frame> batch;
   while (got.size() < kProducers * kPerProducer) {
     batch.clear();
-    inbox.pop_all(batch, std::chrono::milliseconds(10));
+    (void)inbox.pop_all(batch, std::chrono::milliseconds(10));
     for (auto& f : batch) got.push_back(std::move(f));
   }
   for (auto& t : producers) t.join();
@@ -197,8 +197,8 @@ TEST(InboxTest, CloseUnblocksProducerAndConsumer) {
     inbox.close();
   });
   std::vector<Frame> batch;
-  inbox.pop_all(batch, std::chrono::milliseconds(10));  // drains the one frame
-  inbox.pop_all(batch, std::chrono::milliseconds(10'000));  // close() wakes it
+  (void)inbox.pop_all(batch, std::chrono::milliseconds(10));  // drains one frame
+  (void)inbox.pop_all(batch, std::chrono::milliseconds(10'000));  // close() wakes
   closer.join();
   inbox.push(Frame{0, Channel::kBracha, Bytes{}});  // no-op after close
   EXPECT_EQ(inbox.size(), 0u);

@@ -19,21 +19,23 @@ Bytes random_bytes(std::size_t n, std::uint64_t seed) {
 class RsParam : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 
 TEST_P(RsParam, RoundTripWithMaximalErasures) {
-  const auto [k, m, payload_size] = GetParam();
+  const auto k = static_cast<std::uint32_t>(std::get<0>(GetParam()));
+  const auto m = static_cast<std::uint32_t>(std::get<1>(GetParam()));
+  const auto payload_size = static_cast<std::size_t>(std::get<2>(GetParam()));
   ReedSolomon rs(k, m);
   const Bytes data = random_bytes(payload_size, k * 1000 + m * 10 + payload_size);
   auto shards = rs.encode(data);
-  ASSERT_EQ(shards.size(), static_cast<std::size_t>(k + m));
+  ASSERT_EQ(shards.size(), k + m);
 
   // Erase m shards (the maximum) in several patterns.
   Xoshiro256 rng(99);
   for (int trial = 0; trial < 5; ++trial) {
     std::vector<std::optional<Bytes>> present(k + m);
-    for (int i = 0; i < k + m; ++i) present[i] = shards[i];
+    for (std::size_t i = 0; i < k + m; ++i) present[i] = shards[i];
     // Knock out m random distinct shards.
-    std::vector<int> idx(k + m);
-    for (int i = 0; i < k + m; ++i) idx[i] = i;
-    for (int i = 0; i < m; ++i) {
+    std::vector<std::size_t> idx(k + m);
+    for (std::size_t i = 0; i < k + m; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < m; ++i) {
       std::swap(idx[i], idx[i + rng.below(k + m - i)]);
       present[idx[i]].reset();
     }
@@ -58,7 +60,7 @@ TEST(ReedSolomon, EmptyPayloadRoundTrip) {
   ReedSolomon rs(3, 4);
   auto shards = rs.encode(Bytes{});
   std::vector<std::optional<Bytes>> present(7);
-  for (int i = 3; i < 7; ++i) present[i] = shards[i];  // parity only
+  for (std::size_t i = 3; i < 7; ++i) present[i] = shards[i];  // parity only
   auto decoded = rs.decode(present);
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded.value().empty());
@@ -90,7 +92,7 @@ TEST(ReedSolomon, ReconstructShardMatchesOriginal) {
   const Bytes data = random_bytes(500, 3);
   auto shards = rs.encode(data);
   std::vector<std::optional<Bytes>> present(10);
-  for (int i = 0; i < 4; ++i) present[i + 3] = shards[i + 3];
+  for (std::size_t i = 0; i < 4; ++i) present[i + 3] = shards[i + 3];
   for (std::uint32_t target = 0; target < 10; ++target) {
     auto rebuilt = rs.reconstruct_shard(present, target);
     ASSERT_TRUE(rebuilt.ok());
@@ -105,7 +107,7 @@ TEST(ReedSolomon, CorruptedShardChangesDecodeOutput) {
   const Bytes data = random_bytes(90, 4);
   auto shards = rs.encode(data);
   std::vector<std::optional<Bytes>> present(5);
-  for (int i = 0; i < 3; ++i) present[i] = shards[i];
+  for (std::size_t i = 0; i < 3; ++i) present[i] = shards[i];
   (*present[1])[3] ^= 0x40;
   auto decoded = rs.decode(present);
   if (decoded.ok()) {
@@ -114,13 +116,13 @@ TEST(ReedSolomon, CorruptedShardChangesDecodeOutput) {
 }
 
 TEST(Merkle, ProofsVerifyForEveryLeafAndCount) {
-  for (int count : {1, 2, 3, 4, 5, 7, 8, 9, 16, 31}) {
+  for (std::size_t count : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 31u}) {
     std::vector<Bytes> leaves;
-    for (int i = 0; i < count; ++i) {
+    for (std::size_t i = 0; i < count; ++i) {
       leaves.push_back(random_bytes(10 + i, 1000 + i));
     }
     MerkleTree tree(leaves);
-    for (int i = 0; i < count; ++i) {
+    for (std::size_t i = 0; i < count; ++i) {
       const MerkleProof proof = tree.prove(static_cast<std::uint32_t>(i));
       EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], proof))
           << "count=" << count << " leaf=" << i;
@@ -171,7 +173,7 @@ TEST(Merkle, LeafCannotPoseAsInteriorNode) {
 
 TEST(Merkle, ProofSerializationRoundTrip) {
   std::vector<Bytes> leaves;
-  for (int i = 0; i < 9; ++i) leaves.push_back(random_bytes(8, i));
+  for (std::size_t i = 0; i < 9; ++i) leaves.push_back(random_bytes(8, i));
   MerkleTree tree(leaves);
   const MerkleProof proof = tree.prove(6);
   const Bytes wire = proof.serialize();

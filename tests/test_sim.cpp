@@ -55,7 +55,7 @@ TEST(Simulator, CancelPreventsExecution) {
 TEST(Simulator, RunUntilStopsAtPredicate) {
   Simulator sim(1);
   int count = 0;
-  for (int i = 0; i < 10; ++i) sim.schedule(i + 1, [&] { ++count; });
+  for (std::uint64_t i = 0; i < 10; ++i) sim.schedule(i + 1, [&] { ++count; });
   EXPECT_TRUE(sim.run_until([&] { return count == 5; }));
   EXPECT_EQ(count, 5);
   EXPECT_FALSE(sim.idle());
@@ -69,7 +69,7 @@ TEST(Simulator, RunUntilFalseWhenQueueDrains) {
 
 TEST(Simulator, MaxEventsBudget) {
   Simulator sim(1);
-  for (int i = 0; i < 10; ++i) sim.schedule(i, [] {});
+  for (std::uint64_t i = 0; i < 10; ++i) sim.schedule(i, [] {});
   EXPECT_EQ(sim.run(4), 4u);
   EXPECT_EQ(sim.run(), 6u);
 }

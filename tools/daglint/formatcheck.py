@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Deterministic format gate: the mechanical subset of .clang-format that
+needs no clang toolchain, so it runs identically on a developer laptop and
+in CI. clang-format (the full reflow) runs in CI where LLVM is installed;
+this checker keeps the invariants a formatter run must never reintroduce:
+
+  - no tab characters in C++ sources
+  - no trailing whitespace
+  - no CRLF line endings
+  - every file ends with exactly one newline
+  - no line longer than 100 columns (matches ColumnLimit in .clang-format)
+
+Exit 0 when clean, 1 with findings, 2 on usage error. With --fix, rewrites
+the mechanical violations in place (tabs are left alone: they need a human
+to pick the right indent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+MAX_COLS = 100
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+
+def iter_sources(roots: list[Path]):
+    for root in roots:
+        if root.is_file():
+            yield root
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                yield path
+
+
+def check_file(path: Path, fix: bool) -> list[str]:
+    raw = path.read_bytes()
+    findings: list[str] = []
+    text = raw.decode("utf-8", errors="replace")
+
+    if "\r" in text:
+        findings.append(f"{path}: CRLF/CR line endings")
+    lines = text.split("\n")
+    # split("\n") leaves a trailing "" exactly when the file ends in \n.
+    body = lines[:-1] if lines and lines[-1] == "" else lines
+    for i, line in enumerate(body, start=1):
+        stripped = line.rstrip("\r")
+        if "\t" in stripped:
+            findings.append(f"{path}:{i}: tab character")
+        if stripped != stripped.rstrip():
+            findings.append(f"{path}:{i}: trailing whitespace")
+        if len(stripped) > MAX_COLS:
+            findings.append(f"{path}:{i}: line is {len(stripped)} cols (max {MAX_COLS})")
+    if raw and not raw.endswith(b"\n"):
+        findings.append(f"{path}: missing final newline")
+    if raw.endswith(b"\n\n"):
+        findings.append(f"{path}: multiple final newlines")
+
+    if fix and findings:
+        fixed = "\n".join(l.rstrip() for l in body).rstrip("\n") + "\n"
+        path.write_text(fixed, encoding="utf-8")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", type=Path)
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite whitespace/newline violations in place")
+    args = parser.parse_args(argv)
+
+    for p in args.paths:
+        if not p.exists():
+            print(f"formatcheck: no such path: {p}", file=sys.stderr)
+            return 2
+
+    findings: list[str] = []
+    count = 0
+    for path in iter_sources(args.paths):
+        count += 1
+        findings.extend(check_file(path, args.fix))
+    for f in findings:
+        print(f)
+    verdict = "fixed" if args.fix else "finding(s)"
+    print(f"formatcheck: {count} files, {len(findings)} {verdict}")
+    return 1 if findings and not args.fix else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
