@@ -8,11 +8,19 @@
 // Latency is measured client-to-commit: submit stamps the transaction with
 // node 0's clock, and delivery at node 0 records the difference, so no
 // cross-node clock skew enters the measurement.
+// With --wal <dir> every node in every sweep configuration writes its
+// append-only vertex WAL under <dir>, measuring the durability overhead
+// against the in-memory numbers. With --restart the bench instead kills one
+// node of a durable 4-node cluster mid-run, restarts it from its WAL, and
+// reports how long WAL replay + peer catch-up took to rejoin the commit
+// frontier (requires --wal, or falls back to a temp directory).
 #include <atomic>
+#include <filesystem>
 #include <mutex>
 
 #include "bench_util.hpp"
 #include "core/audit.hpp"
+#include "metrics/counters.hpp"
 #include "node/cluster.hpp"
 #include "txpool/transaction.hpp"
 
@@ -28,11 +36,21 @@ struct RealtimeRun {
   bool ok = false;
 };
 
+/// Fresh per-configuration WAL base under --wal, or "" (durability off).
+std::string wal_base(const std::string& config) {
+  if (bench_wal_dir().empty()) return "";
+  const std::string dir = bench_wal_dir() + "/" + config;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
 RealtimeRun run_cluster(std::uint32_t n, std::size_t block_max_txs,
-                        std::uint64_t total_txs, std::size_t tx_payload) {
+                        std::uint64_t total_txs, std::size_t tx_payload,
+                        const std::string& wal_dir = "") {
   node::NodeOptions opts;
   opts.seed = 1234;
   opts.block_max_txs = block_max_txs;
+  opts.wal_dir = wal_dir;
   Committee committee = Committee::for_n(n);
   node::Cluster cluster(committee, opts);
 
@@ -107,8 +125,9 @@ void sweep_committee_size() {
   metrics::Table t({"n", "txs/s", "blocks/s", "commits/s", "p50 ms", "p99 ms"});
   for (std::uint32_t n : std::vector<std::uint32_t>{4, 7, 10}) {
     if (smoke() && n > 4) continue;
-    const RealtimeRun r = run_cluster(n, /*block_max_txs=*/256, total,
-                                      /*tx_payload=*/32);
+    const RealtimeRun r =
+        run_cluster(n, /*block_max_txs=*/256, total, /*tx_payload=*/32,
+                    wal_base("rt-n" + std::to_string(n)));
     t.add_row({std::to_string(n),
                r.ok ? metrics::Table::fmt(r.txs_per_sec, 0) : "stall",
                metrics::Table::fmt(r.blocks_per_sec, 0),
@@ -125,7 +144,8 @@ void sweep_block_size() {
       {"txs/block", "txs/s", "blocks/s", "commits/s", "p50 ms", "p99 ms"});
   for (std::size_t b : std::vector<std::size_t>{64, 256, 1024}) {
     if (smoke() && b > 64) continue;
-    const RealtimeRun r = run_cluster(4, b, total, /*tx_payload=*/32);
+    const RealtimeRun r = run_cluster(4, b, total, /*tx_payload=*/32,
+                                      wal_base("rt-b" + std::to_string(b)));
     t.add_row({std::to_string(b),
                r.ok ? metrics::Table::fmt(r.txs_per_sec, 0) : "stall",
                metrics::Table::fmt(r.blocks_per_sec, 0),
@@ -136,15 +156,96 @@ void sweep_block_size() {
   emit(t);
 }
 
+// --restart: crash one node of a durable 4-node cluster, restart it, and
+// time WAL replay + catch-up sync until it regains the commit frontier the
+// survivors held at the moment of restart.
+void measure_restart() {
+  const std::string dir =
+      bench_wal_dir().empty()
+          ? (std::filesystem::temp_directory_path() / "dr_rt_restart").string()
+          : bench_wal_dir() + "/rt-restart";
+  std::filesystem::remove_all(dir);
+
+  node::NodeOptions opts;
+  opts.seed = 1234;
+  opts.wal_dir = dir;
+  node::Cluster cluster(Committee::for_n(4), opts);
+  cluster.start();
+  node::Node& probe = cluster.node(0);
+
+  // Warm-up, then a downtime window the restarted node must sync across.
+  const std::uint64_t warm = smoke() ? 100 : 1'000;
+  const std::uint64_t window = smoke() ? 200 : 2'000;
+  if (!cluster.wait_all_delivered(warm, std::chrono::minutes(2))) {
+    std::fprintf(stderr, "RT RESTART: warm-up stalled\n");
+    return;
+  }
+  cluster.stop_node(2);
+  const std::uint64_t at_crash = probe.delivered_count();
+  const auto gap_deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(2);
+  while (probe.delivered_count() < at_crash + window) {
+    if (std::chrono::steady_clock::now() >= gap_deadline) {
+      std::fprintf(stderr, "RT RESTART: survivors stalled\n");
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const std::uint64_t t0 = probe.now_us();
+  cluster.restart_node(2);
+  const std::uint64_t rejoin_target = probe.delivered_count();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(3);
+  while (cluster.node(2).delivered_count() < rejoin_target) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "RT RESTART: rejoin stalled\n");
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double rejoin_ms = static_cast<double>(probe.now_us() - t0) / 1000.0;
+  cluster.stop();
+
+  const auto violation =
+      core::audit_logs(cluster.delivered_logs(), cluster.commit_logs());
+  if (violation.has_value()) {
+    std::fprintf(stderr, "RT RESTART AUDIT FAILURE: %s\n", violation->c_str());
+    return;
+  }
+
+  metrics::Table t({"metric", "value"});
+  t.add_row({"blocks delivered at crash", metrics::Table::fmt_u64(at_crash)});
+  t.add_row({"blocks missed while down", metrics::Table::fmt_u64(window)});
+  t.add_row({"rejoin latency ms", metrics::Table::fmt(rejoin_ms, 1)});
+  for (const auto& [name, value] : cluster.node(2).counters()) {
+    if (name == "builder.restored_vertices" ||
+        name == "builder.sync_deliveries" ||
+        name == "catchup.requests_sent" ||
+        name == "catchup.vertices_accepted" ||
+        name == "store.recovered_vertices" ||
+        name == "store.recovered_proposals") {
+      t.add_row({name, metrics::Table::fmt_u64(value)});
+    }
+  }
+  emit(t);
+}
+
 }  // namespace
 }  // namespace dr::bench
 
 int main(int argc, char** argv) {
   dr::bench::bench_init(argc, argv);
-  dr::bench::print_header(
-      "RT", "real-concurrency runtime: commits/sec and tx latency (in-proc)");
-  dr::bench::sweep_committee_size();
-  dr::bench::sweep_block_size();
+  if (dr::bench::restart_mode()) {
+    dr::bench::print_header(
+        "RT-RESTART", "crash restart: WAL replay + catch-up rejoin latency");
+    dr::bench::measure_restart();
+  } else {
+    dr::bench::print_header(
+        "RT", "real-concurrency runtime: commits/sec and tx latency (in-proc)");
+    dr::bench::sweep_committee_size();
+    dr::bench::sweep_block_size();
+  }
   dr::bench::bench_finish();
   return 0;
 }

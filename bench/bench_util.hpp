@@ -22,8 +22,14 @@ inline const std::vector<std::uint32_t> kSweepN = {4, 7, 10, 13, 16};
 /// Command line shared by every bench binary:
 ///   --json <path>   additionally write every emitted table as one JSON doc
 ///   --smoke         cut sweeps/workloads down to a CI-sized smoke run
+///   --wal <dir>     durability mode: nodes write WALs under <dir> (cleared
+///                   per configuration), measuring the append+flush overhead
+///   --restart       crash-recovery mode: kill + restart a node and report
+///                   WAL replay + catch-up time (bench_realtime_throughput)
 struct BenchArgs {
   std::string json_path;
+  std::string wal_dir;
+  bool restart = false;
   bool smoke = false;
 };
 
@@ -33,6 +39,10 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) {
       out.json_path = argv[++i];
+    } else if (a == "--wal" && i + 1 < argc) {
+      out.wal_dir = argv[++i];
+    } else if (a == "--restart") {
+      out.restart = true;
     } else if (a == "--smoke") {
       out.smoke = true;
     }
@@ -52,6 +62,8 @@ class BenchIo {
 
   void init(int argc, char** argv) { args_ = parse_bench_args(argc, argv); }
   bool smoke() const { return args_.smoke; }
+  const std::string& wal_dir() const { return args_.wal_dir; }
+  bool restart() const { return args_.restart; }
   void section(std::string id) { section_ = std::move(id); }
 
   void emit(const metrics::Table& t) {
@@ -112,6 +124,10 @@ inline void bench_finish() {
   if (!BenchIo::instance().flush()) std::exit(1);
 }
 inline bool smoke() { return BenchIo::instance().smoke(); }
+inline const std::string& bench_wal_dir() {
+  return BenchIo::instance().wal_dir();
+}
+inline bool restart_mode() { return BenchIo::instance().restart(); }
 inline void emit(const metrics::Table& t) { BenchIo::instance().emit(t); }
 
 /// kSweepN, trimmed in smoke mode.

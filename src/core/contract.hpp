@@ -88,3 +88,40 @@ namespace dr::contract {
 #define DR_CONTRACT_STATE(...)
 
 #endif  // DR_CONTRACTS_ENABLED
+
+namespace dr::contract {
+
+/// Recovery-phase discipline for components rebuilt from a write-ahead log
+/// (PR: durable storage). Legal transitions: kFresh → kRestoring →
+/// kRestored → kLive, or kFresh → kLive directly (no WAL). The phases exist
+/// because replay and live operation have incompatible side effects: feeding
+/// restore records into a live component would re-broadcast history, and
+/// starting mid-restore would propose on top of a half-rebuilt DAG. The
+/// replayed DAG itself re-enters through the ordinary gates — Dag::insert's
+/// 2f+1 strong-edge DR_REQUIRE and the round-advance quorum DR_REQUIRE both
+/// hold over restored state exactly as over live state.
+struct RestorePhase {
+  enum class Phase { kFresh, kRestoring, kRestored, kLive };
+  Phase phase = Phase::kFresh;
+
+  void begin_restore() {
+    DR_REQUIRE(phase == Phase::kFresh,
+               "restore must begin on a fresh component");
+    phase = Phase::kRestoring;
+  }
+  void finish_restore() {
+    DR_REQUIRE(phase == Phase::kRestoring,
+               "finish_restore without begin_restore");
+    phase = Phase::kRestored;
+  }
+  void start() {
+    DR_REQUIRE(phase == Phase::kFresh || phase == Phase::kRestored,
+               "component started twice or mid-restore");
+    phase = Phase::kLive;
+  }
+
+  bool live() const { return phase == Phase::kLive; }
+  bool restoring() const { return phase == Phase::kRestoring; }
+};
+
+}  // namespace dr::contract

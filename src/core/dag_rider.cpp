@@ -14,7 +14,25 @@ DagRider::DagRider(dag::DagBuilder& builder, coin::Coin& coin)
   builder_.set_wave_ready([this](Wave w) { on_wave_ready(w); });
 }
 
+void DagRider::restore(Wave decided_wave, std::uint64_t delivered_count,
+                       const std::vector<VertexId>& delivered_ids) {
+  DR_REQUIRE(decided_wave_ == 0 && next_wave_to_process_ == 1 &&
+                 delivered_vertices_.empty() && delivered_count_ == 0,
+             "snapshot restore on a non-fresh ordering layer");
+  decided_wave_ = decided_wave;
+  next_wave_to_process_ = decided_wave + 1;
+  delivered_vertices_.insert(delivered_ids.begin(), delivered_ids.end());
+  delivered_count_ = delivered_count;
+#if DR_CONTRACTS_ENABLED
+  decide_monotone_.last_decided = decided_wave;
+#endif
+}
+
 void DagRider::on_wave_ready(Wave w) {
+  // WAL replay re-fires every wave boundary; waves the snapshot already
+  // recorded as decided are settled and must not be re-evaluated (their
+  // deliveries are in the snapshot's delivered set).
+  if (w <= decided_wave_) return;
   ready_waves_.insert(w);
   // Flip the coin only now that the wave is complete (Alg. 3 line 35): the
   // adversary cannot learn the leader before the common core is fixed.

@@ -68,6 +68,15 @@ class DagRider {
   /// consecutive sequence numbers, realized by the builder's round counter.
   void a_bcast(Bytes block) { builder_.enqueue_block(std::move(block)); }
 
+  /// Seeds ordering state from a recovery snapshot (DESIGN.md §10), before
+  /// the builder replays the WAL: waves up to `decided_wave` are treated as
+  /// already decided (their re-fired wave_ready signals are suppressed), and
+  /// `delivered_ids` marks vertices the pre-crash run already a_delivered so
+  /// deterministic replay does not deliver them twice. Must run on a fresh
+  /// rider. `delivered_count` continues the pre-crash sequence numbering.
+  void restore(Wave decided_wave, std::uint64_t delivered_count,
+               const std::vector<dag::VertexId>& delivered_ids);
+
   Wave decided_wave() const { return decided_wave_; }
   std::uint64_t delivered_count() const { return delivered_count_; }
   /// Waves whose leader this process committed, in commit order.

@@ -2,14 +2,25 @@
 // broadcast, gates vertices in a buffer until their causal history is
 // complete, advances rounds at 2f+1 vertices, and reliably broadcasts this
 // process's own vertex per round with strong + weak edges.
+//
+// Durability extension (DESIGN.md §10): the builder can be rebuilt from a
+// write-ahead log before start() — begin_restore / restore_deliver /
+// restore_own_proposal / finish_restore replay a logged history through the
+// exact same validation and insertion gates as live delivery, re-firing
+// wave_ready at every boundary so the ordering layer deterministically
+// replays its commits, and resuming the round counter where the quorums
+// certify instead of at round 1. sync_deliver feeds vertices fetched from
+// peers by the catch-up protocol (node/catchup.hpp) through the same gates.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
+#include "core/contract.hpp"
 #include "dag/dag.hpp"
 #include "rbc/rbc.hpp"
 
@@ -33,7 +44,44 @@ struct BuilderOptions {
   /// process can legitimately run ahead by the delivery skew, so this must
   /// comfortably exceed the expected round lead (default: 128 rounds).
   std::size_t buffer_quota_per_source = 128;
+  /// When > 0: at advancement time, if the local DAG already holds a 2f+1
+  /// quorum in each of the next `lag_skip_threshold` rounds, this process is
+  /// clearly behind the cluster frontier and advances WITHOUT creating and
+  /// broadcasting its own vertex — a vertex for a round whose quorum (and
+  /// successor's quorum) already closed can never be strongly referenced, so
+  /// broadcasting it only burns bandwidth and delays catch-up. Skipped
+  /// rounds consume no queued block. 0 disables (the paper's behaviour,
+  /// kept for the simulator; the node runtime enables it so a restarted or
+  /// lagging node sprints to the frontier).
+  Round lag_skip_threshold = 0;
+  /// Upper bound on how far the laggard-aware GC cap (set_gc_floor_cap) may
+  /// hold the floor below its depth-based target. Bounds the history a dead
+  /// or Byzantine straggler can pin in memory to O(n * holdback) vertices.
+  Round gc_max_holdback_rounds = 16384;
 };
+
+/// Monotonic builder counters, surfaced through node::Node::counters().
+struct BuilderStats {
+  /// r_deliveries dropped because their round was already GC-collected.
+  std::uint64_t gc_dropped_deliveries = 0;
+  /// Buffered vertices dropped when the GC floor rose past their round.
+  std::uint64_t gc_dropped_buffered = 0;
+  /// Deliveries rejected by the per-source buffer quota.
+  std::uint64_t quota_rejections = 0;
+  /// Vertices fed by the catch-up sync path (attempted, pre-validation).
+  std::uint64_t sync_deliveries = 0;
+  /// Rounds advanced without an own proposal (lag_skip_threshold).
+  std::uint64_t rounds_skipped = 0;
+  /// Logged proposals re-broadcast after a restart (identical bytes).
+  std::uint64_t proposals_rebroadcast = 0;
+  /// Vertices re-inserted into the DAG by WAL replay.
+  std::uint64_t restored_vertices = 0;
+  /// apply_gc_floor calls clamped by the laggard-aware floor cap.
+  std::uint64_t gc_floor_holds = 0;
+};
+
+/// set_gc_floor_cap value meaning "no peer constrains the floor".
+inline constexpr Round kNoGcFloorCap = ~Round{0};
 
 class DagBuilder {
  public:
@@ -41,6 +89,10 @@ class DagBuilder {
   using WaveReadyFn = std::function<void(Wave)>;
   /// Observer invoked after a vertex is added to the local DAG.
   using VertexAddedFn = std::function<void(const Vertex&)>;
+  /// Persistence hook invoked with this process's own (round, serialized
+  /// vertex) BEFORE rbc_.broadcast — logging the proposal first is what
+  /// makes a restart re-send identical bytes instead of equivocating.
+  using ProposalLogFn = std::function<void(Round, BytesView)>;
   /// Piggybacked-coin hooks (footnote 1): provider returns this process's
   /// share for wave w when its round-(4w+1) vertex is created; sink receives
   /// shares found on delivered vertices.
@@ -52,6 +104,7 @@ class DagBuilder {
 
   void set_wave_ready(WaveReadyFn fn) { wave_ready_ = std::move(fn); }
   void set_vertex_added(VertexAddedFn fn) { vertex_added_ = std::move(fn); }
+  void set_proposal_log(ProposalLogFn fn) { proposal_log_ = std::move(fn); }
   void enable_coin_piggyback(CoinShareProviderFn provider, CoinShareSinkFn sink) {
     coin_provider_ = std::move(provider);
     coin_sink_ = std::move(sink);
@@ -61,16 +114,47 @@ class DagBuilder {
   void enqueue_block(Bytes block);
   std::size_t blocks_pending() const { return blocks_to_propose_.size(); }
 
-  /// Starts the protocol: performs the initial advance out of round 0,
-  /// broadcasting this process's round-1 vertex. Call once after wiring.
+  /// Starts the protocol: performs the initial advance out of round 0 (or,
+  /// after a restore, re-broadcasts still-pending logged proposals and
+  /// proposes at the recovered frontier). Call once after wiring.
   void start();
+
+  /// --- WAL restore (all before start(); see the header comment). ---
+  /// Enters restore mode. `floor` is the snapshot's GC floor: the DAG is
+  /// compacted to it and the round counter resumes there (0 = full replay).
+  void begin_restore(Round floor);
+  /// Replays one logged r_delivery through the ordinary validation gates.
+  void restore_deliver(ProcessId source, Round r, Bytes payload);
+  /// Registers one logged own proposal; it is re-broadcast verbatim at
+  /// start() or when advancement re-reaches its round, never recreated.
+  void restore_own_proposal(Round r, Bytes payload);
+  /// Inserts everything insertable and advances the round counter through
+  /// every round the restored DAG certifies with a 2f+1 quorum, re-firing
+  /// wave_ready at each boundary — without broadcasting anything.
+  void finish_restore();
+
+  /// Catch-up path: a vertex fetched from f+1 agreeing peers rather than
+  /// r_delivered by the RBC. Validated, deduplicated, parent-gated, and
+  /// quota-bounded exactly like a live delivery.
+  void sync_deliver(ProcessId source, Round r, Bytes payload);
 
   const Dag& dag() const { return dag_; }
   ProcessId pid() const { return pid_; }
   Round current_round() const { return round_; }
+  /// Highest round any validated delivery has mentioned — the catch-up
+  /// protocol's estimate of the cluster frontier.
+  Round highest_seen_round() const { return highest_seen_round_; }
   std::size_t buffer_size() const { return buffer_.size(); }
+  /// Lowest round holding a parent (strong or weak) that a buffered vertex
+  /// references but the DAG does not contain, or 0 when nothing is missing.
+  /// This is what catch-up sync uses to aim requests BELOW the current
+  /// round: after a restart a round may hold only the 2f+1 vertices that
+  /// advanced it, and a later vertex's edge to one of the absent ones would
+  /// otherwise block insertion forever.
+  Round lowest_missing_parent_round() const;
   /// Deliveries rejected because the sender exceeded its buffer quota.
-  std::uint64_t quota_rejections() const { return quota_rejections_; }
+  std::uint64_t quota_rejections() const { return stats_.quota_rejections; }
+  const BuilderStats& stats() const { return stats_; }
   const BuilderOptions& options() const { return options_; }
 
   /// Structural validation of a delivered vertex (Alg. 2 line 25 plus
@@ -81,16 +165,40 @@ class DagBuilder {
   /// after delivery): rounds below `floor` are compacted in the DAG,
   /// buffered vertices for them are dropped, and deliveries for them are
   /// rejected. Monotonic; see Dag::compact_below for the semantics.
+  /// The requested floor is first clamped by the laggard-aware cap below.
   void apply_gc_floor(Round floor);
   Round gc_floor() const { return gc_floor_; }
 
+  /// Laggard-aware GC holdback (DESIGN.md §10): the node layer lowers this
+  /// cap to just below the round of the slowest peer it has recently heard
+  /// from, so the floor never collects history that a live-but-lagging peer
+  /// could still fetch over catch-up sync — without it, a depth-based floor
+  /// outruns a restarted straggler and makes its recovery impossible.
+  /// kNoGcFloorCap (the default) disables the clamp; the clamp is in turn
+  /// bounded by gc_max_holdback_rounds so a dead peer cannot pin memory.
+  void set_gc_floor_cap(Round cap) { gc_floor_cap_ = cap; }
+  /// Highest round of any validated delivery from `source` (live, restore,
+  /// or sync) — the node layer's per-peer progress estimate for the cap.
+  Round highest_round_from(ProcessId source) const {
+    return last_round_from_[source];
+  }
+
  private:
-  void on_deliver(ProcessId source, Round r, Bytes payload);
+  /// `solicited` marks vertices this process explicitly requested (catch-up
+  /// sync): those bypass the per-source flooding quota, because their volume
+  /// is already bounded by the requester's in-flight window and dropping one
+  /// would lose it permanently (the sync layer de-duplicates accepted ids).
+  void on_deliver(ProcessId source, Round r, Bytes payload,
+                  bool solicited = false);
   /// Drains the buffer and advances rounds until quiescent (Alg. 2 loop).
   void pump();
   [[nodiscard]] bool try_insert_buffered();
   bool can_advance() const;
   void advance_round();
+  /// True when rounds next..next+threshold-1 all already hold a quorum.
+  bool should_skip_proposal(Round next) const;
+  /// Creates (or, post-restore, replays) and broadcasts the round-r vertex.
+  void propose(Round r);
   Vertex create_new_vertex(Round r);
   void set_weak_edges(Vertex& v) const;
 
@@ -100,17 +208,25 @@ class DagBuilder {
   BuilderOptions options_;
   Dag dag_;
   Round round_ = 0;
+  Round highest_seen_round_ = 0;
   std::vector<Vertex> buffer_;
   std::deque<Bytes> blocks_to_propose_;
   WaveReadyFn wave_ready_;
   VertexAddedFn vertex_added_;
+  ProposalLogFn proposal_log_;
   CoinShareProviderFn coin_provider_;
   CoinShareSinkFn coin_sink_;
-  bool started_ = false;
+  /// Own proposals recovered from the WAL, keyed by round; drained as they
+  /// are re-broadcast (start()) or re-reached (propose()).
+  std::map<Round, Bytes> restored_proposals_;
+  contract::RestorePhase phase_;
   bool pumping_ = false;
   Round gc_floor_ = 0;
+  Round gc_floor_cap_ = kNoGcFloorCap;
   std::vector<std::size_t> buffered_per_source_;
-  std::uint64_t quota_rejections_ = 0;
+  /// Highest validated delivery round per source (feeds highest_round_from).
+  std::vector<Round> last_round_from_;
+  BuilderStats stats_;
 };
 
 }  // namespace dr::dag

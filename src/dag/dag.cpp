@@ -64,10 +64,20 @@ void Dag::insert(Vertex v) {
 
   Stored s;
   // Complete the transitive closure from the (already complete) parents.
+  // A parent may legitimately be absent only when its round lies below the
+  // compacted floor: a WAL-restored or peer-synced vertex at the floor
+  // references parents whose slots were freed by GC. Skipping their bitset
+  // contribution is exact, not approximate — compact_below truncates all
+  // reachability bits below the floor word anyway, and path/strong_path
+  // answer false for targets in the compacted region by contract.
   for (ProcessId p : v.strong_edges) {
     const VertexId pid{p, v.round - 1};
     const Stored* parent = stored(pid);
-    DR_ASSERT_MSG(parent != nullptr, "strong predecessor missing at insert");
+    if (parent == nullptr) {
+      DR_ASSERT_MSG(pid.round < compacted_floor_,
+                    "strong predecessor missing at insert");
+      continue;
+    }
     s.ancestors.set(slot(pid));
     s.ancestors.or_with(parent->ancestors);
     s.strong_ancestors.set(slot(pid));
@@ -75,7 +85,11 @@ void Dag::insert(Vertex v) {
   }
   for (const VertexId& wid : v.weak_edges) {
     const Stored* parent = stored(wid);
-    DR_ASSERT_MSG(parent != nullptr, "weak predecessor missing at insert");
+    if (parent == nullptr) {
+      DR_ASSERT_MSG(wid.round < compacted_floor_,
+                    "weak predecessor missing at insert");
+      continue;
+    }
     s.ancestors.set(slot(wid));
     s.ancestors.or_with(parent->ancestors);
   }

@@ -39,7 +39,9 @@ class Dag {
   std::uint64_t vertex_count() const { return vertex_count_; }
 
   /// Inserts v. Precondition: all strong/weak predecessors are present
-  /// (the DagBuilder's buffer gates on this, Alg. 2 line 7) and no vertex
+  /// (the DagBuilder's buffer gates on this, Alg. 2 line 7) — except
+  /// predecessors in rounds below compacted_floor(), which WAL restore and
+  /// catch-up sync may reference after GC freed their slots — and no vertex
   /// with the same id exists (reliable broadcast Integrity).
   void insert(Vertex v);
 

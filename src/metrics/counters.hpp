@@ -1,0 +1,28 @@
+// Flat named-counter snapshot: the node runtime's introspection format
+// (node::Node::counters()). A vector of (name, value) pairs rather than a
+// struct so call sites can aggregate counters from independent subsystems
+// (builder, catch-up sync, storage) without this header knowing about them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/table.hpp"
+
+namespace dr::metrics {
+
+using Counter = std::pair<std::string, std::uint64_t>;
+using Counters = std::vector<Counter>;
+
+/// Renders counters as a two-column table for bench/example output.
+inline Table counters_table(const Counters& counters) {
+  Table t({"counter", "value"});
+  for (const Counter& c : counters) {
+    t.add_row({c.first, Table::fmt_u64(c.second)});
+  }
+  return t;
+}
+
+}  // namespace dr::metrics

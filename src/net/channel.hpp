@@ -21,8 +21,12 @@ enum class Channel : std::uint32_t {
   kOracle = 7,
   kApp = 8,
   kBba = 9,
+  /// Catch-up sync (DESIGN.md §10): VertexRequest/VertexResponse exchanges
+  /// between a lagging node and its peers. Off the critical path — losing or
+  /// reordering sync frames only delays catch-up, never safety.
+  kSync = 10,
 };
-inline constexpr std::uint32_t kChannelCount = 10;
+inline constexpr std::uint32_t kChannelCount = 11;
 
 /// True iff `raw` is a defined channel id (wire-input validation).
 inline constexpr bool channel_valid(std::uint32_t raw) {

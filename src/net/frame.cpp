@@ -38,6 +38,92 @@ Expected<Handshake> decode_handshake(BytesView data) {
   return hs;
 }
 
+Bytes encode_vertex_request(const VertexRequest& req) {
+  DR_ASSERT_MSG(req.from_round >= 1 && req.to_round >= req.from_round &&
+                    req.to_round - req.from_round < kMaxSyncRoundSpan,
+                "sync request range malformed");
+  ByteWriter w(1 + 8 + 8);
+  w.u8(kSyncRequestTag);
+  w.u64(req.from_round);
+  w.u64(req.to_round);
+  return std::move(w).take();
+}
+
+Bytes encode_vertex_response(const VertexResponse& resp) {
+  DR_ASSERT_MSG(resp.vertices.size() <= kMaxSyncVertices,
+                "sync response overfull");
+  std::size_t payload_bytes = 0;
+  for (const SyncVertex& sv : resp.vertices) payload_bytes += sv.payload.size();
+  ByteWriter w(1 + 8 + 8 + 4 + resp.vertices.size() * (4 + 8 + 4) +
+               payload_bytes);
+  w.u8(kSyncResponseTag);
+  w.u64(resp.from_round);
+  w.u64(resp.to_round);
+  w.u32(static_cast<std::uint32_t>(resp.vertices.size()));
+  for (const SyncVertex& sv : resp.vertices) {
+    w.u32(sv.source);
+    w.u64(sv.round);
+    w.blob(BytesView(sv.payload));
+  }
+  return std::move(w).take();
+}
+
+Expected<SyncMessage> decode_sync_message(BytesView data, std::uint32_t n) {
+  using Out = Expected<SyncMessage>;
+  ByteReader in(data);
+  const std::uint8_t tag = in.u8();
+  SyncMessage msg;
+  if (tag == kSyncRequestTag) {
+    VertexRequest req;
+    req.from_round = in.u64();
+    req.to_round = in.u64();
+    if (!in.ok() || !in.done()) return Out::failure("sync request truncated");
+    if (req.from_round < 1 || req.to_round < req.from_round) {
+      return Out::failure("sync request range inverted");
+    }
+    if (req.to_round - req.from_round >= kMaxSyncRoundSpan) {
+      return Out::failure("sync request range too wide");
+    }
+    msg.request = req;
+    return msg;
+  }
+  if (tag == kSyncResponseTag) {
+    VertexResponse resp;
+    resp.from_round = in.u64();
+    resp.to_round = in.u64();
+    const std::uint32_t count = in.u32();
+    if (!in.ok()) return Out::failure("sync response truncated");
+    if (resp.from_round < 1 || resp.to_round < resp.from_round) {
+      return Out::failure("sync response range inverted");
+    }
+    if (count > kMaxSyncVertices) {
+      return Out::failure("sync response overfull");
+    }
+    resp.vertices.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      SyncVertex sv;
+      sv.source = in.u32();
+      sv.round = in.u64();
+      sv.payload = in.blob();
+      if (!in.ok()) return Out::failure("sync response truncated");
+      if (n != 0 && sv.source >= n) {
+        return Out::failure("sync vertex source out of range");
+      }
+      if (sv.round < resp.from_round || sv.round > resp.to_round) {
+        return Out::failure("sync vertex outside the response range");
+      }
+      if (sv.payload.size() > kMaxFramePayload) {
+        return Out::failure("sync vertex payload oversized");
+      }
+      resp.vertices.push_back(std::move(sv));
+    }
+    if (!in.done()) return Out::failure("sync response has trailing bytes");
+    msg.response = std::move(resp);
+    return msg;
+  }
+  return Out::failure("unknown sync message tag");
+}
+
 void FrameDecoder::feed(BytesView chunk) {
   if (dead_) return;
   // Compact once the consumed prefix dominates the buffer, so long-lived

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/expected.hpp"
@@ -26,7 +27,10 @@ struct Frame {
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x52474144;  // "DAGR" LE
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2 added Channel::kSync and the VertexRequest/VertexResponse codec; a v1
+/// peer would reject kSync frames as an unknown channel, so the handshake
+/// refuses to mix versions rather than degrade silently.
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /// Upper bound on one frame's payload. A peer could otherwise make the
 /// receiver allocate gigabytes with 4 cheap bytes of length prefix.
@@ -53,6 +57,55 @@ Bytes encode_handshake(const Handshake& hs);
 /// Rejects short input, wrong magic, and unknown version. Committee and pid
 /// consistency is the transport's job (it knows the expected values).
 Expected<Handshake> decode_handshake(BytesView data);
+
+/// --- Catch-up sync codec (Channel::kSync payloads, DESIGN.md §10) ---
+/// A restarted or lagging node asks peers for the vertices of a round range;
+/// peers answer from their local DAG. Responses are only trusted on f+1
+/// byte-identical copies from distinct peers (node/catchup.hpp), so the
+/// codec's job is purely structural validation.
+
+/// Tag byte opening every kSync payload.
+inline constexpr std::uint8_t kSyncRequestTag = 1;
+inline constexpr std::uint8_t kSyncResponseTag = 2;
+/// Bounds chosen so one response always fits a single frame: a request may
+/// span at most 64 rounds and a response carries at most 64 vertices.
+inline constexpr Round kMaxSyncRoundSpan = 64;
+inline constexpr std::size_t kMaxSyncVertices = 64;
+
+/// "Send me every vertex you hold in rounds [from_round, to_round]."
+struct VertexRequest {
+  Round from_round = 1;
+  Round to_round = 1;  ///< inclusive
+};
+
+/// One vertex carried by a response, with the RBC metadata the requester
+/// needs to feed it through DagBuilder::sync_deliver.
+struct SyncVertex {
+  ProcessId source = 0;
+  Round round = 0;
+  Bytes payload;  ///< serialized dag::Vertex, exactly as r_delivered
+};
+
+/// Answer to a VertexRequest: whatever subset the responder still holds
+/// (GC may have freed part of the range). May be empty.
+struct VertexResponse {
+  Round from_round = 1;
+  Round to_round = 1;
+  std::vector<SyncVertex> vertices;
+};
+
+Bytes encode_vertex_request(const VertexRequest& req);
+Bytes encode_vertex_response(const VertexResponse& resp);
+
+/// Discriminates on the tag byte; exactly one optional is set on success.
+struct SyncMessage {
+  std::optional<VertexRequest> request;
+  std::optional<VertexResponse> response;
+};
+
+/// Rejects unknown tags, inverted or over-span ranges, round 0, oversized
+/// vertex counts/payloads, and out-of-range sources (when n != 0).
+Expected<SyncMessage> decode_sync_message(BytesView data, std::uint32_t n = 0);
 
 /// Incremental decoder for a TCP byte stream: feed arbitrary chunks, pop
 /// complete frames. A protocol violation (oversized length, unknown

@@ -1,6 +1,7 @@
 #include "net/inproc.hpp"
 
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 #include "common/assert.hpp"
@@ -19,7 +20,9 @@ class InProcEndpoint final : public Transport {
 
   void start(RecvFn recv) override {
     InProcNetwork::Peer& me = shared_->peers[pid_];
+    std::unique_lock lock(me.mu);
     me.recv = std::move(recv);
+    me.ever_ready.store(true, std::memory_order_release);
     me.ready.store(true, std::memory_order_release);
   }
 
@@ -27,9 +30,15 @@ class InProcEndpoint final : public Transport {
     DR_ASSERT(to < shared_->committee.n);
     InProcNetwork::Peer& peer = shared_->peers[to];
     if (!peer.ready.load(std::memory_order_acquire)) {
+      if (peer.ever_ready.load(std::memory_order_acquire)) {
+        // The peer was up and went down (crash / restart window): drop, as a
+        // real network would. Waiting here would stall the sending node's
+        // whole protocol loop on a peer that may never return.
+        return;
+      }
       // The hosting harness starts every endpoint before any protocol
       // traffic flows; tolerate a short startup skew, then drop (the peer
-      // is gone — mid-shutdown, or never started).
+      // never came up).
       const auto deadline =
           std::chrono::steady_clock::now() + std::chrono::seconds(5);
       while (!peer.ready.load(std::memory_order_acquire)) {
@@ -37,11 +46,21 @@ class InProcEndpoint final : public Transport {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     }
+    // Shared lock for the duration of the delivery: a concurrent stop()
+    // takes the exclusive side and therefore cannot complete — nor can the
+    // receiving node be torn down — while we are inside its recv hook.
+    std::shared_lock lock(peer.mu);
+    if (!peer.ready.load(std::memory_order_acquire)) return;  // lost the race
     peer.recv(Frame{pid_, channel, std::move(payload)});
   }
 
   void stop() override {
-    shared_->peers[pid_].ready.store(false, std::memory_order_release);
+    InProcNetwork::Peer& me = shared_->peers[pid_];
+    me.ready.store(false, std::memory_order_release);
+    // Exclusive acquisition drains in-flight deliveries before the recv hook
+    // (which captures the node being destroyed) is released.
+    std::unique_lock lock(me.mu);
+    me.recv = nullptr;
   }
 
  private:

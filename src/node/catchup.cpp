@@ -1,0 +1,238 @@
+#include "node/catchup.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace dr::node {
+
+using dag::VertexId;
+
+CatchupSync::CatchupSync(net::Bus& bus, ProcessId pid,
+                         dag::DagBuilder& builder, CatchupOptions opts)
+    : bus_(bus),
+      pid_(pid),
+      builder_(builder),
+      opts_(opts),
+      committee_(bus.committee()),
+      peers_(committee_.n) {
+  DR_ASSERT(opts_.rounds_per_request >= 1 &&
+            opts_.rounds_per_request <= net::kMaxSyncRoundSpan);
+  DR_ASSERT(opts_.max_response_vertices <= net::kMaxSyncVertices);
+  bus_.subscribe(pid_, net::Channel::kSync,
+                 [this](ProcessId from, BytesView payload) {
+                   on_sync_frame(from, payload);
+                 });
+}
+
+void CatchupSync::on_sync_frame(ProcessId from, BytesView payload) {
+  if (from == pid_) return;  // self-sync is meaningless
+  auto decoded = net::decode_sync_message(payload, committee_.n);
+  if (!decoded.ok()) return;  // malformed — drop, the codec validated shape
+  const net::SyncMessage& msg = decoded.value();
+  if (msg.request.has_value()) {
+    serve_request(from, *msg.request);
+  } else if (msg.response.has_value()) {
+    ingest_response(from, *msg.response);
+  }
+}
+
+void CatchupSync::serve_request(ProcessId from, const net::VertexRequest& req) {
+  if (!opts_.enabled) return;
+  const dag::Dag& dag = builder_.dag();
+  // Clamp to what this process can actually serve: nothing below its own GC
+  // floor (those slots are freed) or round 1, nothing above its max round.
+  const Round lo =
+      std::max({req.from_round, builder_.gc_floor(), Round{1}});
+  const Round hi = std::min(req.to_round, dag.max_round());
+  net::VertexResponse resp;
+  resp.from_round = req.from_round;
+  resp.to_round = req.to_round;
+  std::size_t bytes = 0;
+  for (Round r = lo; r <= hi && resp.vertices.size() < opts_.max_response_vertices;
+       ++r) {
+    for (ProcessId src : dag.round_sources(r)) {
+      if (resp.vertices.size() >= opts_.max_response_vertices) break;
+      const dag::Vertex* v = dag.get(VertexId{src, r});
+      DR_ASSERT(v != nullptr);
+      net::SyncVertex sv;
+      sv.source = src;
+      sv.round = r;
+      // Deterministic re-serialization: every correct peer derives identical
+      // bytes from its stored vertex, which is what makes the requester's
+      // f+1 byte-match rule meaningful.
+      sv.payload = v->serialize();
+      bytes += sv.payload.size();
+      if (bytes > opts_.max_response_bytes) break;
+      resp.vertices.push_back(std::move(sv));
+    }
+    if (bytes > opts_.max_response_bytes) break;
+  }
+  ++stats_.responses_served;
+  // Reply even when empty: the requester learns this peer holds nothing in
+  // the range and rotates elsewhere instead of waiting out the retry timer.
+  bus_.send(pid_, from, net::Channel::kSync, encode_vertex_response(resp));
+}
+
+void CatchupSync::ingest_response(ProcessId from,
+                                  const net::VertexResponse& resp) {
+  ++stats_.responses_received;
+  // A response — any response — clears the peer's backoff: it is alive.
+  peers_[from].backoff_until_us = 0;
+  peers_[from].backoff_us = 0;
+
+  const dag::Dag& dag = builder_.dag();
+  for (const net::SyncVertex& sv : resp.vertices) {
+    const VertexId id{sv.source, sv.round};
+    if (sv.round < std::max<Round>(1, builder_.gc_floor())) continue;
+    if (accepted_.count(id) > 0 || dag.contains(id)) continue;
+    auto& variants = tally_[id];
+    if (!variants.empty() && variants.count(Bytes(sv.payload)) == 0) {
+      ++stats_.vertices_mismatched;  // conflicting bytes for one slot
+    }
+    auto& vouchers = variants[Bytes(sv.payload)];
+    vouchers.insert(from);
+    // f+1 distinct peers with identical bytes: at least one is correct.
+    if (vouchers.size() >= committee_.small_quorum()) {
+      ++stats_.vertices_accepted;
+      accepted_.insert(id);
+      Bytes payload = sv.payload;
+      tally_.erase(id);
+      builder_.sync_deliver(sv.source, sv.round, std::move(payload));
+    }
+  }
+}
+
+bool CatchupSync::choose_peer(std::uint64_t now_us, ProcessId& out) {
+  for (std::uint32_t step = 0; step < committee_.n; ++step) {
+    const ProcessId cand = static_cast<ProcessId>(
+        (next_peer_ + step) % committee_.n);
+    if (cand == pid_) continue;
+    if (peers_[cand].backoff_until_us > now_us) continue;
+    out = cand;
+    next_peer_ = static_cast<ProcessId>((cand + 1) % committee_.n);
+    return true;
+  }
+  return false;
+}
+
+void CatchupSync::send_request(Round from, Round to, std::uint64_t now_us) {
+  // Replicate the range to f+1 distinct peers at once. The acceptance rule
+  // needs small_quorum() byte-identical vouchers per slot, so a serial
+  // one-peer-then-retry scheme only completes a tally after a full
+  // retry_after_us — long enough for the peers' GC floors to overtake the
+  // requested rounds and leave the tally stuck at one voucher forever.
+  // Charging
+  // each replica its backoff up front (an answer clears it) still rotates
+  // retries away from crashed peers instead of hammering them.
+  const Bytes frame = encode_vertex_request(net::VertexRequest{from, to});
+  std::uint32_t sent = 0;
+  for (std::uint32_t k = 0; k < committee_.small_quorum(); ++k) {
+    ProcessId peer = 0;
+    if (!choose_peer(now_us, peer)) break;  // everyone is backing off
+    PeerState& ps = peers_[peer];
+    ps.backoff_us = ps.backoff_us == 0
+                        ? opts_.backoff_initial_us
+                        : std::min(ps.backoff_us * 2, opts_.backoff_max_us);
+    ps.backoff_until_us = now_us + ps.backoff_us;
+    ++stats_.requests_sent;
+    bus_.send(pid_, peer, net::Channel::kSync, frame);
+    ++sent;
+  }
+  if (sent != 0) inflight_.push_back(Inflight{from, to, now_us});
+}
+
+void CatchupSync::tick(std::uint64_t now_us) {
+  if (!opts_.enabled) return;
+  const Round local = builder_.current_round();
+  const Round frontier = builder_.highest_seen_round();
+  // A buffered vertex can be waiting on a parent BELOW the current round:
+  // after a restart a round may hold only the 2f+1 vertices that advanced
+  // it, and a later vertex's strong or weak edge to one of the absent slots
+  // blocks insertion forever unless requests reach below `local`.
+  const Round missing = builder_.lowest_missing_parent_round();
+  const bool parent_gap = missing != 0 && missing < local;
+  if (!parent_gap && frontier < local + opts_.min_lag) {
+    // Caught up (or nearly): drop request state; accepted_ only has to
+    // bridge the window until the DAG absorbs each id (pruned below).
+    inflight_.clear();
+    if (!tally_.empty()) tally_.clear();
+    prune(now_us);
+    return;
+  }
+
+  // Everything from need_from upward may still be required; ranges entirely
+  // below it have been satisfied (insertion consumed their vertices).
+  const Round need_from =
+      parent_gap ? missing : std::max<Round>(1, local);
+
+  // Retire ranges the builder no longer needs, retry stale ones.
+  for (std::size_t i = 0; i < inflight_.size();) {
+    Inflight& rq = inflight_[i];
+    if (rq.to < need_from) {
+      inflight_[i] = inflight_.back();
+      inflight_.pop_back();
+      continue;
+    }
+    if (now_us - rq.sent_at_us >= opts_.retry_after_us) {
+      ++stats_.retries;
+      const Round from = rq.from;
+      const Round to = rq.to;
+      inflight_[i] = inflight_.back();
+      inflight_.pop_back();
+      send_request(from, to, now_us);  // rotates to the next eligible peer
+      continue;
+    }
+    ++i;
+  }
+
+  // Issue new requests, lowest missing rounds first: parents must arrive
+  // before children can leave the builder's buffer.
+  const Round limit = std::max(frontier, local);
+  Round cursor = need_from;
+  while (inflight_.size() < opts_.max_inflight && cursor <= limit) {
+    const Round to =
+        std::min<Round>(cursor + opts_.rounds_per_request - 1, limit);
+    bool covered = false;
+    for (const Inflight& rq : inflight_) {
+      if (rq.from <= cursor && cursor <= rq.to) {
+        cursor = rq.to + 1;
+        covered = true;
+        break;
+      }
+    }
+    if (covered) continue;
+    const std::size_t before = inflight_.size();
+    send_request(cursor, to, now_us);
+    if (inflight_.size() == before) break;  // no eligible peer right now
+    cursor = to + 1;
+  }
+
+  prune(now_us);
+}
+
+void CatchupSync::prune(std::uint64_t) {
+  // Drop tallies the DAG has since absorbed through ordinary delivery, and
+  // accepted ids the DAG now holds (or that GC retired): accepted_ only has
+  // to bridge the window between sync_deliver and DAG insertion, after which
+  // dag.contains() takes over as the dedup — so the set stays small even
+  // across a very long catch-up.
+  for (auto it = tally_.begin(); it != tally_.end();) {
+    if (builder_.dag().contains(it->first) ||
+        it->first.round < builder_.gc_floor()) {
+      it = tally_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = accepted_.begin(); it != accepted_.end();) {
+    if (builder_.dag().contains(*it) || it->round < builder_.gc_floor()) {
+      it = accepted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dr::node

@@ -1,0 +1,112 @@
+// Peer catch-up sync (DESIGN.md §10): lets a restarted or lagging node fetch
+// DAG vertices it missed while down, instead of waiting for future RBC
+// traffic that will never re-send history. Runs entirely on the node thread
+// — the kSync handler and tick() are both dispatched from Node::loop — and
+// sends nothing unless the node is demonstrably behind.
+//
+// Trust model: a single peer's response proves nothing (a Byzantine peer can
+// fabricate any vertex bytes). A fetched vertex is only fed to the builder
+// once f+1 DISTINCT peers returned byte-identical payloads for the same
+// (source, round) slot — at least one of them is correct, and a correct peer
+// only serves vertices its own RBC r_delivered. The vertex then still passes
+// through DagBuilder::sync_deliver's ordinary validation/parent gates, so
+// catch-up can delay liveness but never corrupt the DAG.
+//
+// Request discipline: at most `max_inflight` round-ranges outstanding, each
+// covering `rounds_per_request` rounds and replicated to f+1 distinct peers
+// at once (one volley of responses can then complete the byte-match tally —
+// essential while the peers' GC floors are advancing through the requested
+// rounds), re-sent to the next peers after `retry_after_us`; per-peer
+// exponential backoff keeps a dead or slow peer from absorbing every
+// request.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "dag/builder.hpp"
+#include "net/bus.hpp"
+#include "net/frame.hpp"
+
+namespace dr::node {
+
+struct CatchupOptions {
+  bool enabled = true;
+  /// Maximum round-ranges outstanding at once.
+  std::size_t max_inflight = 4;
+  /// Rounds per VertexRequest (<= net::kMaxSyncRoundSpan).
+  Round rounds_per_request = 8;
+  /// Re-issue an unanswered request (to a different peer) after this long.
+  std::uint64_t retry_after_us = 200'000;
+  /// Per-peer exponential backoff after an unanswered request.
+  std::uint64_t backoff_initial_us = 100'000;
+  std::uint64_t backoff_max_us = 2'000'000;
+  /// Server-side caps per response (vertex count <= net::kMaxSyncVertices).
+  std::size_t max_response_vertices = net::kMaxSyncVertices;
+  std::size_t max_response_bytes = 1u << 20;
+  /// Only sync when the observed frontier is at least this many rounds
+  /// ahead of the local round — ordinary delivery skew is not lag.
+  Round min_lag = 2;
+};
+
+/// Monotonic counters, surfaced through node::Node::counters().
+struct CatchupStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t responses_served = 0;
+  std::uint64_t vertices_accepted = 0;   ///< reached f+1 matching copies
+  std::uint64_t vertices_mismatched = 0; ///< conflicting payloads for a slot
+  std::uint64_t retries = 0;
+};
+
+class CatchupSync {
+ public:
+  /// Subscribes to Channel::kSync on `bus`. `builder` must outlive this.
+  CatchupSync(net::Bus& bus, ProcessId pid, dag::DagBuilder& builder,
+              CatchupOptions opts);
+
+  /// Drives the requester side; call from the node loop with now_us().
+  void tick(std::uint64_t now_us);
+
+  const CatchupStats& stats() const { return stats_; }
+
+ private:
+  struct Inflight {
+    Round from = 0;
+    Round to = 0;  ///< inclusive
+    std::uint64_t sent_at_us = 0;
+  };
+  struct PeerState {
+    std::uint64_t backoff_until_us = 0;
+    std::uint64_t backoff_us = 0;
+  };
+
+  void on_sync_frame(ProcessId from, BytesView payload);
+  void serve_request(ProcessId from, const net::VertexRequest& req);
+  void ingest_response(ProcessId from, const net::VertexResponse& resp);
+  /// Drops tally/dedup state for ids the DAG has absorbed or GC retired.
+  void prune(std::uint64_t now_us);
+  /// Next peer (round-robin, != pid_) not currently backing off.
+  bool choose_peer(std::uint64_t now_us, ProcessId& out);
+  void send_request(Round from, Round to, std::uint64_t now_us);
+
+  net::Bus& bus_;
+  ProcessId pid_;
+  dag::DagBuilder& builder_;
+  CatchupOptions opts_;
+  Committee committee_;
+
+  std::vector<Inflight> inflight_;
+  std::vector<PeerState> peers_;
+  ProcessId next_peer_ = 0;  ///< round-robin cursor
+  /// Response tally: per slot, payload variant -> distinct peers vouching.
+  std::map<dag::VertexId, std::map<Bytes, std::set<ProcessId>>> tally_;
+  /// Slots already handed to the builder (sync_deliver is one-shot here).
+  std::unordered_set<dag::VertexId, dag::VertexIdHash> accepted_;
+  CatchupStats stats_;
+};
+
+}  // namespace dr::node

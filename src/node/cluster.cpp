@@ -1,19 +1,29 @@
 #include "node/cluster.hpp"
 
+#include <string>
 #include <thread>
 
 namespace dr::node {
 
 Cluster::Cluster(Committee committee, NodeOptions opts)
     : committee_(committee),
-      dealer_(opts.seed ^ coin::kDealerSeedTweak, committee),
+      opts_(std::move(opts)),
+      dealer_(opts_.seed ^ coin::kDealerSeedTweak, committee),
       net_(committee) {
   DR_ASSERT_MSG(committee_.valid(), "Cluster: committee must satisfy n > 3f");
   nodes_.reserve(committee_.n);
   for (ProcessId pid = 0; pid < committee_.n; ++pid) {
     nodes_.push_back(
-        std::make_unique<Node>(net_.endpoint(pid), &dealer_, opts));
+        std::make_unique<Node>(net_.endpoint(pid), &dealer_, node_opts(pid)));
   }
+}
+
+NodeOptions Cluster::node_opts(ProcessId pid) const {
+  NodeOptions o = opts_;
+  if (!o.wal_dir.empty()) {
+    o.wal_dir += "/node-" + std::to_string(pid);
+  }
+  return o;
 }
 
 Cluster::~Cluster() { stop(); }
@@ -29,6 +39,25 @@ void Cluster::stop() {
   stopped_ = true;
   for (auto& n : nodes_) n->stop_loop();
   for (auto& n : nodes_) n->stop_transport();
+}
+
+void Cluster::stop_node(ProcessId pid) {
+  DR_ASSERT(pid < nodes_.size() && nodes_[pid] != nullptr);
+  // Full stop, both phases: this node's loop cannot be mid-delivery into a
+  // peer (InProcEndpoint::send drains under the peer's lock), and peers'
+  // sends to this node drop once its endpoint goes not-ready.
+  nodes_[pid]->stop();
+}
+
+void Cluster::restart_node(ProcessId pid) {
+  DR_ASSERT(pid < nodes_.size());
+  DR_ASSERT_MSG(started_ && !stopped_,
+                "restart_node only on a running cluster");
+  nodes_[pid]->stop();  // idempotent if stop_node already ran
+  nodes_[pid].reset();  // old endpoint destroyed before the slot is re-bound
+  nodes_[pid] =
+      std::make_unique<Node>(net_.endpoint(pid), &dealer_, node_opts(pid));
+  nodes_[pid]->start();
 }
 
 bool Cluster::wait_all_delivered(std::uint64_t count,

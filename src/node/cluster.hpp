@@ -27,6 +27,16 @@ class Cluster {
   /// other's inboxes (see Node::stop_loop/stop_transport).
   void stop();
 
+  /// Crash-stops one node (full stop: loop + transport) while the rest of
+  /// the cluster keeps running. Peers' sends to it drop, as on a real
+  /// network partition.
+  void stop_node(ProcessId pid);
+  /// Replaces a stopped node with a fresh Node on the same endpoint slot and
+  /// (when the cluster was built with a wal_dir) the same data directory —
+  /// the restarted node recovers from its WAL, then catch-up sync fills the
+  /// rounds it missed while down. Requires stop_node(pid) first.
+  void restart_node(ProcessId pid);
+
   std::uint32_t n() const { return committee_.n; }
   const Committee& committee() const { return committee_; }
   Node& node(ProcessId pid) { return *nodes_[pid]; }
@@ -41,7 +51,12 @@ class Cluster {
   std::vector<std::vector<core::CommitRecord>> commit_logs() const;
 
  private:
+  /// Per-node options: opts_.wal_dir (when set) is treated as a base
+  /// directory and becomes <base>/node-<pid> for each node.
+  NodeOptions node_opts(ProcessId pid) const;
+
   Committee committee_;
+  NodeOptions opts_;
   coin::CoinDealer dealer_;
   net::InProcNetwork net_;
   std::vector<std::unique_ptr<Node>> nodes_;

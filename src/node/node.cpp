@@ -74,6 +74,15 @@ Node::Node(std::unique_ptr<net::Transport> transport,
                    if (from != pid()) return;  // kApp is loopback-only
                    rider_->a_bcast(Bytes(block.begin(), block.end()));
                  });
+
+  if (!opts_.wal_dir.empty()) {
+    store_ = std::make_unique<storage::VertexStore>(
+        committee(), my_pid,
+        storage::StoreOptions{opts_.wal_dir, opts_.wal_fsync});
+  }
+  catchup_ = std::make_unique<CatchupSync>(bus_, my_pid, *builder_,
+                                           opts_.catchup);
+  last_heard_us_.assign(committee().n, 0);
 }
 
 Node::~Node() { stop(); }
@@ -94,16 +103,110 @@ void Node::start() {
 }
 
 void Node::loop() {
+  if (store_) {
+    recover_from_store();
+    // Persistence hooks go in AFTER replay: replayed vertices are already in
+    // the WAL, and re-appending them would double the file every restart.
+    builder_->set_vertex_added(
+        [this](const dag::Vertex& v) { store_->append_vertex(v); });
+    builder_->set_proposal_log(
+        [this](Round r, BytesView payload) {
+          store_->append_proposal(r, payload);
+        });
+  }
   builder_->start();
   std::vector<net::Frame> batch;
   while (running_.load(std::memory_order_acquire)) {
     batch.clear();
     (void)inbox_.pop_all(batch, opts_.idle_wait);  // batch itself is the result
+    const std::uint64_t now = now_us();
     for (const net::Frame& f : batch) {
+      last_heard_us_[f.from] = now;
       bus_.dispatch(f);
     }
+    refresh_gc_floor_cap(now);
+    catchup_->tick(now_us());
+    if (store_) maybe_compact();
     refill_from_mempool();
   }
+}
+
+void Node::refresh_gc_floor_cap(std::uint64_t now) {
+  // Laggard-aware GC holdback (DESIGN.md §10): clamp the builder's GC floor
+  // to just below the round of the slowest peer heard from recently, so the
+  // history a live straggler still needs stays servable over catch-up sync.
+  // The margin covers the straggler's own parent gap (strong edges reach one
+  // round back, weak edges a few waves); a peer silent past the liveness
+  // window stops constraining, and DagBuilder::apply_gc_floor bounds the
+  // total holdback so a dead peer cannot pin memory forever.
+  if (opts_.gc_depth_rounds == 0 || opts_.gc_peer_liveness_us == 0) return;
+  // Every loop iteration: the scan is O(n) over counters already in cache,
+  // and a stale cap lags the frontier by however long it goes unrefreshed,
+  // eating into the margin below.
+  const Round margin = opts_.gc_depth_rounds / 2 + 1;
+  Round cap = dag::kNoGcFloorCap;
+  for (ProcessId p = 0; p < committee().n; ++p) {
+    if (p == pid()) continue;
+    if (last_heard_us_[p] + opts_.gc_peer_liveness_us < now) continue;
+    const Round r = builder_->highest_round_from(p);
+    cap = std::min(cap, r > margin ? r - margin : Round{0});
+  }
+  builder_->set_gc_floor_cap(cap);
+}
+
+void Node::recover_from_store() {
+  storage::RecoverResult rec = store_->recover();
+  Round floor = 0;
+  if (rec.snapshot.has_value()) {
+    const storage::Snapshot& snap = *rec.snapshot;
+    floor = snap.gc_floor;
+    std::vector<dag::VertexId> delivered_ids;
+    delivered_ids.reserve(snap.delivered.size());
+    for (const core::DeliveredRecord& d : snap.delivered) {
+      // Ids below the floor are pruned from the rider's dedup set anyway
+      // (the causal traversal skips the compacted region wholesale).
+      if (d.round >= floor) {
+        delivered_ids.push_back(dag::VertexId{d.source, d.round});
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(log_mu_);
+      delivered_ = snap.delivered;
+      commits_ = snap.commits;
+    }
+    delivered_count_.store(snap.delivered.size(), std::memory_order_release);
+    rider_->restore(snap.decided_wave, snap.delivered.size(), delivered_ids);
+  }
+  if (!rec.snapshot.has_value() && rec.records.empty()) return;  // fresh
+  builder_->begin_restore(floor);
+  for (storage::WalRecord& r : rec.records) {
+    if (r.type == storage::WalRecordType::kVertex) {
+      builder_->restore_deliver(r.source, r.round, std::move(r.payload));
+    } else {
+      builder_->restore_own_proposal(r.round, std::move(r.payload));
+    }
+  }
+  // Rebuild + deterministic replay of the post-snapshot waves: the rider's
+  // snapshot guard suppresses the already-decided ones.
+  builder_->finish_restore();
+  last_compact_floor_ = builder_->gc_floor();
+}
+
+void Node::maybe_compact() {
+  const Round floor = builder_->gc_floor();
+  if (floor <= last_compact_floor_) return;
+  last_compact_floor_ = floor;
+  storage::Snapshot snap;
+  snap.committee = committee();
+  snap.pid = pid();
+  snap.gc_floor = floor;
+  snap.decided_wave = rider_->decided_wave();
+  {
+    std::lock_guard<std::mutex> lk(log_mu_);
+    snap.delivered = delivered_;
+    snap.commits = commits_;
+  }
+  store_->compact(snap, builder_->dag());
 }
 
 void Node::refill_from_mempool() {
@@ -148,6 +251,47 @@ void Node::stop_transport() {
 void Node::stop() {
   stop_loop();
   stop_transport();
+}
+
+metrics::Counters Node::counters() const {
+  metrics::Counters out;
+  const dag::BuilderStats& b = builder_->stats();
+  out.emplace_back("builder.gc_dropped_deliveries", b.gc_dropped_deliveries);
+  out.emplace_back("builder.gc_dropped_buffered", b.gc_dropped_buffered);
+  out.emplace_back("builder.quota_rejections", b.quota_rejections);
+  out.emplace_back("builder.sync_deliveries", b.sync_deliveries);
+  out.emplace_back("builder.rounds_skipped", b.rounds_skipped);
+  out.emplace_back("builder.proposals_rebroadcast", b.proposals_rebroadcast);
+  out.emplace_back("builder.restored_vertices", b.restored_vertices);
+  out.emplace_back("builder.gc_floor_holds", b.gc_floor_holds);
+  // Frontier gauges (not monotonic): where this builder stands right now.
+  out.emplace_back("builder.current_round", builder_->current_round());
+  out.emplace_back("builder.gc_floor", builder_->gc_floor());
+  out.emplace_back("builder.highest_seen_round",
+                   builder_->highest_seen_round());
+  out.emplace_back("builder.buffer_size", builder_->buffer_size());
+  out.emplace_back("builder.lowest_missing_parent_round",
+                   builder_->lowest_missing_parent_round());
+  const CatchupStats& c = catchup_->stats();
+  out.emplace_back("catchup.requests_sent", c.requests_sent);
+  out.emplace_back("catchup.responses_received", c.responses_received);
+  out.emplace_back("catchup.responses_served", c.responses_served);
+  out.emplace_back("catchup.vertices_accepted", c.vertices_accepted);
+  out.emplace_back("catchup.vertices_mismatched", c.vertices_mismatched);
+  out.emplace_back("catchup.retries", c.retries);
+  if (store_) {
+    const storage::StoreStats& s = store_->stats();
+    out.emplace_back("store.vertices_appended", s.vertices_appended);
+    out.emplace_back("store.proposals_appended", s.proposals_appended);
+    out.emplace_back("store.bytes_appended", s.bytes_appended);
+    out.emplace_back("store.compactions", s.compactions);
+    out.emplace_back("store.recovered_vertices", s.recovered_vertices);
+    out.emplace_back("store.recovered_proposals", s.recovered_proposals);
+    out.emplace_back("store.recovered_truncated_bytes",
+                     s.recovered_truncated_bytes);
+    out.emplace_back("store.snapshot_loaded", s.snapshot_loaded ? 1 : 0);
+  }
+  return out;
 }
 
 std::vector<core::DeliveredRecord> Node::delivered_snapshot() const {

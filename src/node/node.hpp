@@ -25,10 +25,13 @@
 #include "common/assert.hpp"
 #include "core/dag_rider.hpp"
 #include "core/records.hpp"
+#include "metrics/counters.hpp"
 #include "net/bus.hpp"
 #include "net/inbox.hpp"
 #include "net/transport.hpp"
+#include "node/catchup.hpp"
 #include "rbc/factory.hpp"
+#include "storage/store.hpp"
 #include "txpool/mempool.hpp"
 
 namespace dr::node {
@@ -46,8 +49,25 @@ struct NodeOptions {
   CoinMode coin_mode = CoinMode::kPiggyback;
   /// auto_blocks keeps rounds advancing when the mempool runs dry (the
   /// paper's "infinitely many blocks" assumption); size 0 = empty filler.
-  dag::BuilderOptions builder{.auto_blocks = true, .auto_block_size = 0};
+  /// lag_skip_threshold lets a node that restarted far behind sprint to the
+  /// frontier instead of proposing into already-closed rounds.
+  dag::BuilderOptions builder{.auto_blocks = true, .auto_block_size = 0,
+                              .lag_skip_threshold = 2};
+  /// Durable storage (DESIGN.md §10): empty = no persistence (the seed
+  /// behaviour); set to a directory to WAL every accepted vertex and own
+  /// proposal there and to recover from it on the next start().
+  std::string wal_dir;
+  /// fsync per WAL append (power-failure durability; default covers process
+  /// crashes only, matching the restart tests' crash model).
+  bool wal_fsync = false;
+  /// Peer catch-up sync over Channel::kSync.
+  CatchupOptions catchup{};
   Round gc_depth_rounds = 0;
+  /// Laggard-aware GC holdback: a peer heard from within this window pins
+  /// the GC floor cap to just below its highest delivered round, keeping the
+  /// history it may still catch-up-fetch servable (DESIGN.md §10). A peer
+  /// silent for longer stops constraining the floor. 0 disables the clamp.
+  std::uint64_t gc_peer_liveness_us = 2'000'000;
   std::uint64_t seed = 1;
   /// Transactions drained from the mempool into one proposed block.
   std::size_t block_max_txs = 256;
@@ -161,6 +181,10 @@ class Node {
     return transport_->backpressure_overflows();
   }
 
+  /// Flat snapshot of the builder / catch-up / storage counters. Reads
+  /// node-thread state, so call only after stop_loop() (or before start()).
+  metrics::Counters counters() const;
+
   /// Application delivery hook, invoked on the node thread after the record
   /// is logged. Set before start().
   using AppDeliverFn = std::function<void(const Bytes& block, Round r,
@@ -172,6 +196,12 @@ class Node {
  private:
   void loop();
   void refill_from_mempool();
+  /// Recomputes the laggard-aware GC floor cap from per-peer progress.
+  void refresh_gc_floor_cap(std::uint64_t now);
+  /// Replays snapshot + WAL into the rider/builder; node thread, pre-start.
+  void recover_from_store();
+  /// Snapshots + rewrites the WAL whenever the GC floor has risen.
+  void maybe_compact();
 
   NodeOptions opts_;
   std::unique_ptr<net::Transport> transport_;
@@ -182,6 +212,11 @@ class Node {
   std::unique_ptr<coin::Coin> coin_;
   std::unique_ptr<dag::DagBuilder> builder_;
   std::unique_ptr<core::DagRider> rider_;
+  std::unique_ptr<storage::VertexStore> store_;
+  std::unique_ptr<CatchupSync> catchup_;
+  Round last_compact_floor_ = 0;
+  /// now_us() of the last frame received from each peer (node thread only).
+  std::vector<std::uint64_t> last_heard_us_;
 
   std::mutex mempool_mu_;
   txpool::Mempool mempool_;

@@ -1,0 +1,96 @@
+#include "storage/snapshot.hpp"
+
+#include <algorithm>
+
+#include "storage/wal.hpp"
+
+namespace dr::storage {
+
+Bytes encode_snapshot(const Snapshot& snap) {
+  ByteWriter w;
+  w.u32(kSnapMagic);
+  w.u16(kSnapVersion);
+  w.u16(0);  // reserved
+  w.u32(snap.committee.n);
+  w.u32(snap.committee.f);
+  w.u32(snap.pid);
+  w.u64(snap.gc_floor);
+  w.u64(snap.decided_wave);
+  w.u32(static_cast<std::uint32_t>(snap.delivered.size()));
+  for (const core::DeliveredRecord& rec : snap.delivered) {
+    w.raw(BytesView{rec.block_digest.data(), rec.block_digest.size()});
+    w.u64(rec.block_size);
+    w.u64(rec.round);
+    w.u32(rec.source);
+    w.u64(rec.time);
+  }
+  w.u32(static_cast<std::uint32_t>(snap.commits.size()));
+  for (const core::CommitRecord& rec : snap.commits) {
+    w.u64(rec.wave);
+    w.u32(rec.leader.source);
+    w.u64(rec.leader.round);
+    w.u8(rec.direct ? 1 : 0);
+    w.u64(rec.time);
+  }
+  w.u32(crc32(BytesView(w.bytes())));
+  return std::move(w).take();
+}
+
+Expected<Snapshot> decode_snapshot(BytesView data) {
+  using Fail = Expected<Snapshot>;
+  if (data.size() < 4) return Fail::failure("snapshot too short for its CRC");
+  const BytesView body{data.data(), data.size() - 4};
+  ByteReader tail(BytesView{data.data() + data.size() - 4, 4});
+  if (crc32(body) != tail.u32()) return Fail::failure("snapshot CRC mismatch");
+
+  ByteReader in(body);
+  Snapshot snap;
+  if (in.u32() != kSnapMagic) return Fail::failure("bad snapshot magic");
+  if (in.u16() != kSnapVersion) {
+    return Fail::failure("unsupported snapshot version");
+  }
+  (void)in.u16();  // reserved
+  snap.committee.n = in.u32();
+  snap.committee.f = in.u32();
+  snap.pid = in.u32();
+  snap.gc_floor = in.u64();
+  snap.decided_wave = in.u64();
+  const std::uint32_t n_delivered = in.u32();
+  if (!in.ok() || n_delivered > kMaxSnapshotDelivered) {
+    return Fail::failure("snapshot delivered count implausible");
+  }
+  snap.delivered.reserve(n_delivered);
+  for (std::uint32_t i = 0; i < n_delivered && in.ok(); ++i) {
+    core::DeliveredRecord rec;
+    const Bytes digest = in.raw(rec.block_digest.size());
+    if (digest.size() == rec.block_digest.size()) {
+      std::copy(digest.begin(), digest.end(), rec.block_digest.begin());
+    }
+    rec.block_size = in.u64();
+    rec.round = in.u64();
+    rec.source = in.u32();
+    rec.time = in.u64();
+    snap.delivered.push_back(rec);
+  }
+  const std::uint32_t n_commits = in.u32();
+  if (!in.ok() || n_commits > kMaxSnapshotCommits) {
+    return Fail::failure("snapshot commit count implausible");
+  }
+  snap.commits.reserve(n_commits);
+  for (std::uint32_t i = 0; i < n_commits && in.ok(); ++i) {
+    core::CommitRecord rec;
+    rec.wave = in.u64();
+    rec.leader.source = in.u32();
+    rec.leader.round = in.u64();
+    rec.direct = in.u8() != 0;
+    rec.time = in.u64();
+    snap.commits.push_back(rec);
+  }
+  if (!in.done()) return Fail::failure("snapshot truncated or oversized");
+  if (!snap.committee.valid()) {
+    return Fail::failure("snapshot committee invalid");
+  }
+  return snap;
+}
+
+}  // namespace dr::storage

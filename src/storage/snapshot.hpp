@@ -1,0 +1,46 @@
+// Snapshot of one process's delivered/commit state, the companion of the
+// WAL: compaction writes a snapshot at the GC floor, then rewrites the WAL
+// keeping only rounds >= floor. Recovery seeds the ordering layer from the
+// snapshot (decided wave, delivered-vertex ids at or above the floor, the
+// full delivered/commit logs for the auditors) and replays the trimmed WAL
+// on top. The file is written atomically (temp + rename, see store.cpp) and
+// carries a trailing CRC-32 over everything before it, so a torn snapshot is
+// detected as a whole rather than half-applied.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/expected.hpp"
+#include "common/types.hpp"
+#include "core/records.hpp"
+
+namespace dr::storage {
+
+inline constexpr std::uint32_t kSnapMagic = 0x504E5344;  // "DSNP" LE
+inline constexpr std::uint16_t kSnapVersion = 1;
+
+/// Defensive caps mirroring the WAL codec: a corrupt count field must not
+/// make recovery allocate gigabytes.
+inline constexpr std::uint32_t kMaxSnapshotDelivered = 1u << 24;
+inline constexpr std::uint32_t kMaxSnapshotCommits = 1u << 22;
+
+struct Snapshot {
+  Committee committee;
+  ProcessId pid = 0;
+  Round gc_floor = 0;
+  Wave decided_wave = 0;
+  std::vector<core::DeliveredRecord> delivered;
+  std::vector<core::CommitRecord> commits;
+};
+
+Bytes encode_snapshot(const Snapshot& snap);
+
+/// Rejects short input, wrong magic/version, count fields beyond the caps,
+/// and any CRC mismatch. Committee/pid consistency against the recovering
+/// process is the caller's job (VertexStore::recover knows the expected
+/// values).
+Expected<Snapshot> decode_snapshot(BytesView data);
+
+}  // namespace dr::storage

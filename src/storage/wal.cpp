@@ -1,0 +1,163 @@
+#include "storage/wal.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+#include "core/contract.hpp"
+
+namespace dr::storage {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  static const std::array<std::uint32_t, 256> table = build_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Bytes encode_wal_header(const Committee& committee, ProcessId pid) {
+  ByteWriter w(kWalHeaderBytes);
+  w.u32(kWalMagic);
+  w.u16(kWalVersion);
+  w.u16(0);  // reserved
+  w.u32(committee.n);
+  w.u32(committee.f);
+  w.u32(pid);
+  return std::move(w).take();
+}
+
+Bytes encode_wal_record(const WalRecord& rec) {
+  ByteWriter p(kWalRecordPrefixBytes + rec.payload.size());
+  p.u8(static_cast<std::uint8_t>(rec.type));
+  p.u32(rec.source);
+  p.u64(rec.round);
+  p.raw(BytesView(rec.payload));
+  const Bytes payload = std::move(p).take();
+  DR_ASSERT_MSG(payload.size() <= kMaxWalRecord, "WAL record too large");
+  ByteWriter w(kWalRecordHeaderBytes + payload.size());
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(BytesView(payload)));
+  w.raw(BytesView(payload));
+  return std::move(w).take();
+}
+
+void WalDecoder::fail(std::string why) {
+  dead_ = true;
+  error_ = std::move(why);
+  // Same absorbing-dead-state contract as net::FrameDecoder: resynchronizing
+  // inside a corrupted length-prefixed file would splice records across the
+  // corruption and replay a history this process never built.
+  DR_ENSURE(dead_ && !error_.empty(),
+            "WAL decoder failure must record a reason and go dead");
+}
+
+void WalDecoder::feed(BytesView chunk) {
+  if (dead_) return;
+  if (pos_ > 0 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+}
+
+bool WalDecoder::try_header() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kWalHeaderBytes) return false;
+  ByteReader in(BytesView{buf_.data() + pos_, avail});
+  const std::uint32_t magic = in.u32();
+  const std::uint16_t version = in.u16();
+  (void)in.u16();  // reserved
+  const std::uint32_t n = in.u32();
+  const std::uint32_t f = in.u32();
+  const std::uint32_t pid = in.u32();
+  if (magic != kWalMagic) {
+    fail("bad WAL magic");
+    return false;
+  }
+  if (version != kWalVersion) {
+    fail("unsupported WAL version");
+    return false;
+  }
+  if (n != committee_.n || f != committee_.f) {
+    fail("WAL written for a different committee");
+    return false;
+  }
+  if (pid != pid_) {
+    fail("WAL belongs to a different process");
+    return false;
+  }
+  pos_ += kWalHeaderBytes;
+  consumed_ += kWalHeaderBytes;
+  header_seen_ = true;
+  return true;
+}
+
+std::optional<WalRecord> WalDecoder::next() {
+  if (dead_) return std::nullopt;
+  DR_INVARIANT(pos_ <= buf_.size(),
+               "WAL decoder consumed past the end of its buffer");
+  if (!header_seen_ && !try_header()) return std::nullopt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kWalRecordHeaderBytes) return std::nullopt;
+  ByteReader in(BytesView{buf_.data() + pos_, avail});
+  const std::uint32_t len = in.u32();
+  const std::uint32_t crc = in.u32();
+  if (len > kMaxWalRecord) {
+    fail("oversized WAL record length prefix");
+    return std::nullopt;
+  }
+  if (len < kWalRecordPrefixBytes) {
+    fail("WAL record shorter than its fixed prefix");
+    return std::nullopt;
+  }
+  if (avail < kWalRecordHeaderBytes + len) return std::nullopt;  // torn tail
+  const BytesView payload{buf_.data() + pos_ + kWalRecordHeaderBytes, len};
+  if (crc32(payload) != crc) {
+    fail("WAL record CRC mismatch");
+    return std::nullopt;
+  }
+  ByteReader body(payload);
+  WalRecord rec;
+  const std::uint8_t type = body.u8();
+  rec.source = body.u32();
+  rec.round = body.u64();
+  rec.payload = body.raw(body.remaining());
+  if (type != static_cast<std::uint8_t>(WalRecordType::kVertex) &&
+      type != static_cast<std::uint8_t>(WalRecordType::kProposal)) {
+    fail("unknown WAL record type");
+    return std::nullopt;
+  }
+  rec.type = static_cast<WalRecordType>(type);
+  if (rec.source >= committee_.n) {
+    fail("WAL record source out of range");
+    return std::nullopt;
+  }
+  if (rec.type == WalRecordType::kProposal && rec.source != pid_) {
+    fail("WAL proposal record from a foreign process");
+    return std::nullopt;
+  }
+  if (rec.round < 1) {
+    fail("WAL record round below 1 (genesis is never logged)");
+    return std::nullopt;
+  }
+  pos_ += kWalRecordHeaderBytes + len;
+  consumed_ += kWalRecordHeaderBytes + len;
+  return rec;
+}
+
+}  // namespace dr::storage

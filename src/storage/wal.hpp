@@ -1,0 +1,108 @@
+// Append-only write-ahead vertex log. Records reuse the net/frame codec
+// discipline — length-prefixed, little-endian, defensive caps, an absorbing
+// dead state on any malformed input — plus a CRC-32 over every payload,
+// because unlike a TCP stream the WAL's adversary is a torn write or bit rot
+// on disk. The codec here is pure in-memory (encode bytes / decode bytes):
+// the file layer lives in store.hpp, which keeps this half directly fuzzable
+// (fuzz/fuzz_wal.cpp) without touching a filesystem.
+//
+// A WAL is crash-consistent by prefix: recovery replays records until the
+// first corruption (bad CRC, truncated tail, impossible field) and discards
+// everything after it. Records are appended in causal order — a vertex is
+// logged only after Dag::insert accepted it, own proposals only after their
+// strong-edge quorum was logged — so every prefix of a correct process's WAL
+// is itself a valid DAG construction history.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/expected.hpp"
+#include "common/types.hpp"
+
+namespace dr::storage {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+/// Table-driven; the table is built once on first use.
+std::uint32_t crc32(BytesView data);
+
+inline constexpr std::uint32_t kWalMagic = 0x4C415744;  // "DWAL" LE
+inline constexpr std::uint16_t kWalVersion = 1;
+
+/// WAL file header: [u32 magic][u16 version][u16 reserved][u32 n][u32 f]
+/// [u32 pid]. The committee shape and owning process are stamped so a WAL
+/// replayed into the wrong process (copied data dir, misconfigured id) is
+/// rejected wholesale instead of poisoning the DAG with another process's
+/// proposals.
+inline constexpr std::size_t kWalHeaderBytes = 4 + 2 + 2 + 4 + 4 + 4;
+
+/// Record wire layout: [u32 payload_len][u32 crc32(payload)][payload] where
+/// payload = [u8 type][u32 source][u64 round][vertex bytes]. The vertex
+/// bytes are exactly Vertex::serialize — byte-identical to the RBC payload,
+/// so digests agree across the WAL, the wire, and the catch-up sync.
+inline constexpr std::size_t kWalRecordHeaderBytes = 4 + 4;
+inline constexpr std::size_t kWalRecordPrefixBytes = 1 + 4 + 8;
+
+/// Upper bound on one record's payload (a vertex can't exceed a frame).
+inline constexpr std::uint32_t kMaxWalRecord = (16u << 20) + 64;
+
+enum class WalRecordType : std::uint8_t {
+  kVertex = 1,    ///< a vertex accepted into the local DAG (any source)
+  kProposal = 2,  ///< this process's own vertex, logged before broadcast
+};
+
+/// One recovered record. For kVertex, (source, round) is the RBC delivery
+/// metadata; for kProposal, source is the owning process and the payload is
+/// the exact bytes handed to rbc_.broadcast (equivocation-freedom across
+/// restarts depends on replaying these verbatim).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kVertex;
+  ProcessId source = 0;
+  Round round = 0;
+  Bytes payload;
+};
+
+Bytes encode_wal_header(const Committee& committee, ProcessId pid);
+Bytes encode_wal_record(const WalRecord& rec);
+
+/// Incremental WAL reader with the FrameDecoder discipline: feed arbitrary
+/// chunks, pop complete records; any protocol violation (bad magic, foreign
+/// committee, CRC mismatch, oversized length, unknown type, out-of-range
+/// source) flips the decoder into an absorbing dead state. A cleanly
+/// truncated tail (partial record at EOF) is NOT dead: it is the expected
+/// shape of a crash mid-append, and `consumed()` tells the file layer where
+/// to truncate before resuming appends.
+class WalDecoder {
+ public:
+  WalDecoder(Committee expected, ProcessId pid)
+      : committee_(expected), pid_(pid) {}
+
+  void feed(BytesView chunk);
+
+  /// Pops the next complete, CRC-verified record, if one is buffered.
+  [[nodiscard]] std::optional<WalRecord> next();
+
+  bool dead() const { return dead_; }
+  const std::string& error() const { return error_; }
+  bool header_seen() const { return header_seen_; }
+  /// Total bytes consumed as complete header + records — the safe length to
+  /// truncate a torn file to before appending again.
+  std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  void fail(std::string why);
+  [[nodiscard]] bool try_header();
+
+  Committee committee_;
+  ProcessId pid_;
+  Bytes buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  std::uint64_t consumed_ = 0;
+  bool header_seen_ = false;
+  bool dead_ = false;
+  std::string error_;
+};
+
+}  // namespace dr::storage

@@ -42,6 +42,13 @@ Rules (each suppressible per line with `// daglint: allow(<rule>)`):
                     site (that class attribute is itself this rule's anchor:
                     removing it reintroduces findings tree-wide).
 
+  file-io           No filesystem access (fstream, fopen/fwrite/fread,
+                    std::filesystem, raw ::open) outside src/storage/. The
+                    WAL + snapshot store is the single durability point of
+                    the node (DESIGN.md §10); scattered file I/O would put
+                    crash-recovery state where replay can't see it and
+                    blocking disk calls inside protocol handlers.
+
 Usage:
   daglint.py [--rules r1,r2] [--list-rules] PATH...
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -177,8 +184,17 @@ NODISCARD_RET = re.compile(
 )
 NODISCARD_ATTR = "[[nodiscard]]"
 
+FILE_IO_PATTERNS = [
+    (re.compile(r"\bstd::(o|i)?fstream\b"), "iostream file handle"),
+    (re.compile(r"\bf(open|reopen|write|read|close|flush|sync)\s*\("),
+     "stdio file call"),
+    (re.compile(r"\bstd::filesystem\b"), "std::filesystem access"),
+    (re.compile(r"::\s*open\s*\("), "raw open() syscall"),
+]
+
 PROTOCOL_DIRS = ("core", "dag", "rbc", "coin")
 CONCURRENCY_DIRS = ("net", "node")
+STORAGE_DIRS = ("storage",)
 
 
 def check_file(path: Path, text: str, rules) -> list[Finding]:
@@ -203,6 +219,7 @@ def check_file(path: Path, text: str, rules) -> list[Finding]:
     is_types_hpp = rel(path).endswith("common/types.hpp")
     in_protocol = in_dirs(path, PROTOCOL_DIRS)
     in_concurrency = in_dirs(path, CONCURRENCY_DIRS)
+    in_storage = in_dirs(path, STORAGE_DIRS)
 
     for idx, line in enumerate(code_lines, start=1):
         if not is_types_hpp:
@@ -226,6 +243,13 @@ def check_file(path: Path, text: str, rules) -> list[Finding]:
             if pat.search(line):
                 report(idx, "raw-random", msg)
                 break
+        if not in_storage:
+            for pat, msg in FILE_IO_PATTERNS:
+                if pat.search(line):
+                    report(idx, "file-io",
+                           msg + " outside src/storage/; all durability goes "
+                           "through the WAL + snapshot store (DESIGN.md §10)")
+                    break
         if (NODISCARD_NAMES.search(line) and NODISCARD_RET.search(line) and
                 not NODISCARD_QUALIFIED_DEF.search(line)):
             has_attr = NODISCARD_ATTR in line or (
@@ -245,6 +269,7 @@ ALL_RULES = (
     "blocking-call",
     "raw-random",
     "nodiscard-decode",
+    "file-io",
 )
 
 

@@ -186,6 +186,33 @@ class Suppression(unittest.TestCase):
         self.assertIn("quorum-arith", rules_of(findings))
 
 
+class FileIo(unittest.TestCase):
+    def test_fstream_in_core_flagged(self):
+        findings = lint_snippet(
+            "src/core/dag_rider.cpp",
+            '#include <fstream>\nstd::ofstream log("rider.log");\n')
+        self.assertIn("file-io", rules_of(findings))
+
+    def test_fopen_in_node_flagged(self):
+        findings = lint_snippet(
+            "src/node/node.cpp",
+            'FILE* f = std::fopen("wal.bin", "ab");\n')
+        self.assertIn("file-io", rules_of(findings))
+
+    def test_std_filesystem_in_dag_flagged(self):
+        findings = lint_snippet(
+            "src/dag/builder.cpp",
+            "std::filesystem::resize_file(p, n);\n")
+        self.assertIn("file-io", rules_of(findings))
+
+    def test_storage_dir_allowed(self):
+        findings = lint_snippet(
+            "src/storage/store.cpp",
+            'FILE* f = std::fopen("wal.bin", "ab");\n'
+            "std::filesystem::resize_file(p, n);\n")
+        self.assertEqual(rules_of(findings), set())
+
+
 class StripComments(unittest.TestCase):
     def test_line_numbers_preserved(self):
         text = "int a;\n/* two\nline comment */\nstd::mutex bad;\n"
