@@ -1,6 +1,10 @@
-// MICRO — google-benchmark microbenchmarks for the substrates: hashing,
+// MICRO — google-benchmark microbenchmarks for the substrates: hashing
+// (dispatched vs forced-scalar), frame encoding, broadcast fan-out,
 // erasure coding, Merkle trees, Shamir, DAG insertion and reachability.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/rng.hpp"
 #include "crypto/merkle.hpp"
@@ -8,6 +12,10 @@
 #include "crypto/sha256.hpp"
 #include "crypto/shamir.hpp"
 #include "dag/dag.hpp"
+#include "net/frame.hpp"
+#include "net/payload.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
 
 namespace dr {
 namespace {
@@ -26,8 +34,95 @@ void BM_Sha256(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
+  state.SetLabel(crypto::sha256_backend());
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha256Scalar(benchmark::State& state) {
+  // Portable baseline: divide BM_Sha256's bytes/sec by this to get the
+  // hardware-acceleration speedup on the host.
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256_portable(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.SetLabel("scalar");
+}
+BENCHMARK(BM_Sha256Scalar)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_PayloadDigestMemoized(benchmark::State& state) {
+  // The single-hash discipline in one number: repeated digest() calls on a
+  // shared payload cost a lookup, not a SHA-256 pass.
+  const net::Payload payload(random_bytes(16'384, 5));
+  (void)payload.digest();  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(payload.digest());
+  }
+}
+BENCHMARK(BM_PayloadDigestMemoized);
+
+void BM_FrameEncode(benchmark::State& state) {
+  const Bytes payload = random_bytes(static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::encode_frame(2, net::Channel::kBracha, BytesView(payload)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FrameEncode)->Arg(256)->Arg(4096);
+
+void BM_FrameEncodeHeader(benchmark::State& state) {
+  // The zero-copy wire path's per-frame cost: 12 header bytes on the stack,
+  // payload untouched (contrast with BM_FrameEncode's full copy).
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::encode_frame_header(2, net::Channel::kBracha, 4096));
+  }
+}
+BENCHMARK(BM_FrameEncodeHeader);
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  // One broadcast scheduled to all n processes through the simulator bus.
+  // The first iteration doubles as the zero-copy regression gate: a single
+  // broadcast must perform ZERO deep payload copies end to end.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t kPayloadSize = 16'384;
+  bool checked = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim(42);
+    sim::Network net(sim, Committee::for_n(n),
+                     std::make_unique<sim::UniformDelay>(1, 1));
+    std::size_t delivered = 0;
+    for (ProcessId p = 0; p < n; ++p) {
+      net.subscribe(p, net::Channel::kGossip,
+                    [&delivered](ProcessId, const net::Payload&) { ++delivered; });
+    }
+    net::Payload payload(random_bytes(kPayloadSize, 7));
+    state.ResumeTiming();
+    net::Payload::reset_copy_counters();
+    net.broadcast(0, net::Channel::kGossip, std::move(payload));
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+    if (!checked) {
+      checked = true;
+      if (delivered != n || net::Payload::copy_count() != 0) {
+        std::fprintf(stderr,
+                     "FATAL: broadcast fan-out regressed: delivered=%zu/%u "
+                     "payload copies=%llu (expected 0)\n",
+                     delivered, n,
+                     static_cast<unsigned long long>(net::Payload::copy_count()));
+        std::abort();
+      }
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPayloadSize));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(4)->Arg(10)->Arg(31);
 
 void BM_RsEncode(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

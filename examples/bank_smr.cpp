@@ -94,9 +94,8 @@ int main() {
   std::vector<Bank> banks(4);
   for (ProcessId p = 0; p < 4; ++p) {
     sys.node(p).rider().set_deliver(
-        [&banks, p](const Bytes& block, Round, ProcessId) {
-          banks[p].apply(block);
-        });
+        [&banks, p](const Bytes& block, const crypto::Digest&, Round,
+                    ProcessId) { banks[p].apply(block); });
   }
 
   // Clients: transfers submitted to different replicas, interleaved.

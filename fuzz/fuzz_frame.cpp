@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/assert.hpp"
+#include "crypto/sha256.hpp"
 #include "fuzz_util.hpp"
 #include "net/frame.hpp"
 
@@ -21,6 +22,12 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   if (size == 0) return 0;
   const std::uint32_t n = data[0] % 8;  // 0 disables the source check
   BytesView stream{data + 1, size - 1};
+
+  // SHA-256 backend differential: the dispatched implementation (SHA-NI
+  // where the CPU has it) must be bit-identical to the portable compressor
+  // on every fuzz input, not just the property-test distribution.
+  DR_ASSERT_MSG(crypto::sha256(stream) == crypto::sha256_portable(stream),
+                "SHA-256 backends diverged");
 
   net::FrameDecoder dec(n);
   std::size_t popped = 0;

@@ -27,7 +27,7 @@ namespace {
 class NoopRbc final : public dr::rbc::ReliableBroadcast {
  public:
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
-  void broadcast(dr::Round, dr::Bytes) override { ++broadcasts; }
+  void broadcast(dr::Round, dr::net::Payload) override { ++broadcasts; }
   std::uint64_t broadcasts = 0;
 
  private:
@@ -136,7 +136,8 @@ std::vector<Bytes> seed_inputs() {
     append(s, record(WalRecordType::kVertex, 1, 1, vertex_payload(1, 1)));
     const Bytes torn =
         record(WalRecordType::kVertex, 2, 1, vertex_payload(2, 1));
-    s.insert(s.end(), torn.begin(), torn.begin() + torn.size() / 2);
+    s.insert(s.end(), torn.begin(),
+             torn.begin() + static_cast<std::ptrdiff_t>(torn.size() / 2));
     seeds.push_back(std::move(s));
   }
   // Foreign header: a data dir copied from another process.

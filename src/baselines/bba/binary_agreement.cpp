@@ -9,8 +9,8 @@ BinaryAgreement::BinaryAgreement(sim::Network& net, ProcessId pid,
                                  sim::Channel channel)
     : net_(net), pid_(pid), coin_(coin), decide_cb_(std::move(decide)),
       channel_(channel) {
-  net_.subscribe(pid_, channel_, [this](ProcessId from, BytesView data) {
-    on_message(from, data);
+  net_.subscribe(pid_, channel_, [this](ProcessId from, const net::Payload& msg) {
+    on_message(from, msg.view());
   });
 }
 

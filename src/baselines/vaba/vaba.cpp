@@ -20,8 +20,8 @@ Vaba::Vaba(sim::Network& net, ProcessId pid, coin::Coin& coin, DecideFn decide,
            sim::Channel channel)
     : net_(net), pid_(pid), coin_(coin), decide_(std::move(decide)),
       channel_(channel) {
-  net_.subscribe(pid_, channel_, [this](ProcessId from, BytesView data) {
-    on_message(from, data);
+  net_.subscribe(pid_, channel_, [this](ProcessId from, const net::Payload& msg) {
+    on_message(from, msg.view());
   });
 }
 

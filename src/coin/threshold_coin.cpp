@@ -8,8 +8,8 @@ ThresholdCoin::ThresholdCoin(net::Bus& net, ProcessCoinKey key,
                              bool broadcast_shares)
     : net_(net), key_(key), broadcast_shares_(broadcast_shares) {
   net_.subscribe(key_.pid(), net::Channel::kCoin,
-                 [this](ProcessId from, BytesView payload) {
-                   on_message(from, payload);
+                 [this](ProcessId from, const net::Payload& payload) {
+                   on_message(from, payload.view());
                  });
 }
 

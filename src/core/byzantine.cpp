@@ -34,10 +34,11 @@ Bytes mutate_payload(BytesView payload) {
 EquivocatingBrachaRbc::EquivocatingBrachaRbc(sim::Network& net, ProcessId pid)
     : net_(net), pid_(pid), inner_(net, pid) {}
 
-void EquivocatingBrachaRbc::broadcast(Round r, Bytes payload) {
-  const Bytes variant_b = mutate_payload(payload);
-  const Bytes send_a = encode_bracha_send(pid_, r, payload);
-  const Bytes send_b = encode_bracha_send(pid_, r, variant_b);
+void EquivocatingBrachaRbc::broadcast(Round r, net::Payload payload) {
+  const Bytes variant_b = mutate_payload(payload.view());
+  // Each variant is encoded once; the per-recipient sends share the buffers.
+  const net::Payload send_a(encode_bracha_send(pid_, r, payload.view()));
+  const net::Payload send_b(encode_bracha_send(pid_, r, variant_b));
   for (ProcessId to = 0; to < net_.n(); ++to) {
     net_.send(pid_, to, sim::Channel::kBracha, to % 2 == 0 ? send_a : send_b);
   }

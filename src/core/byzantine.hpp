@@ -25,7 +25,7 @@ class EquivocatingBrachaRbc final : public rbc::ReliableBroadcast {
   EquivocatingBrachaRbc(sim::Network& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { inner_.set_deliver(std::move(fn)); }
-  void broadcast(Round r, Bytes payload) override;
+  void broadcast(Round r, net::Payload payload) override;
 
  private:
   sim::Network& net_;

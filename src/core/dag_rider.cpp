@@ -162,7 +162,9 @@ void DagRider::order_vertices(
       DR_ENSURE(fresh, "vertex a_delivered twice (BAB Integrity)");
       (void)fresh;
       ++delivered_count_;
-      if (a_deliver_) a_deliver_(vx->block, vx->round, vx->source);
+      // The block digest comes off the vertex's retained wire buffer — the
+      // one place it is computed; downstream consumers must not re-hash.
+      if (a_deliver_) a_deliver_(vx->block, vx->block_digest(), vx->round, vx->source);
     }
   }
 }

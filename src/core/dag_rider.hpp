@@ -44,8 +44,12 @@ struct Delivered {
 
 class DagRider {
  public:
-  /// a_deliver(m, r, k).
-  using DeliverFn = std::function<void(const Bytes& block, Round r, ProcessId source)>;
+  /// a_deliver(m, r, k). `block_digest` is the memoized digest of `block`,
+  /// computed once at the codec boundary — consumers must use it instead of
+  /// re-hashing the block bytes.
+  using DeliverFn = std::function<void(const Bytes& block,
+                                       const crypto::Digest& block_digest,
+                                       Round r, ProcessId source)>;
   /// Observer fired when a wave leader is committed (popped for delivery);
   /// reports (wave, leader vertex, direct) where direct=false means the
   /// leader was recovered transitively from a later wave's commit.

@@ -50,9 +50,11 @@ Node::Node(sim::Network& net, ProcessId pid, const SystemConfig& cfg,
   }
   rider_ = std::make_unique<DagRider>(*builder_, *coin_);
   if (cfg.gc_depth_rounds > 0) rider_->enable_gc(cfg.gc_depth_rounds);
-  rider_->set_deliver([this, &sim](const Bytes& block, Round r, ProcessId src) {
-    delivered_.push_back(DeliveredRecord{crypto::sha256(block), block.size(), r,
-                                         src, sim.now()});
+  rider_->set_deliver([this, &sim](const Bytes& block,
+                                   const crypto::Digest& block_digest, Round r,
+                                   ProcessId src) {
+    delivered_.push_back(
+        DeliveredRecord{block_digest, block.size(), r, src, sim.now()});
     if (app_deliver_) app_deliver_(block, r, src);
   });
   rider_->set_commit_observer(

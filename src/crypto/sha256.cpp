@@ -1,83 +1,95 @@
 #include "crypto/sha256.hpp"
 
+#include <cstdlib>
 #include <cstring>
+
+#include "crypto/sha256_internal.hpp"
 
 namespace dr::crypto {
 namespace {
-
-constexpr std::uint32_t kInit[8] = {
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
-};
-
-constexpr std::uint32_t kRound[64] = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
-};
 
 inline std::uint32_t rotr(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
 }
 
-}  // namespace
-
-void Sha256::reset() {
-  std::memcpy(h_.data(), kInit, sizeof(kInit));
-  buf_len_ = 0;
-  total_len_ = 0;
+bool env_forces_scalar() {
+  const char* v = std::getenv("DAGRIDER_SHA256_SCALAR");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
-void Sha256::compress(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+}  // namespace
 
-  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
-  std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
+namespace detail {
+
+void compress_scalar(std::uint32_t* state, const std::uint8_t* blocks,
+                     std::size_t nblocks) {
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const std::uint8_t* block = blocks + blk * 64;
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+             (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = h + s1 + ch + kSha256Round[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
   }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
-  h_[5] += f;
-  h_[6] += g;
-  h_[7] += h;
+}
+
+CompressFn dispatched_compress() {
+  // Resolved exactly once; the env override is read before any hashing so a
+  // force-scalar test run never mixes backends mid-process.
+  static const CompressFn fn = [] {
+    if (!env_forces_scalar() && shani_supported()) return &compress_shani;
+    return &compress_scalar;
+  }();
+  return fn;
+}
+
+}  // namespace detail
+
+const char* sha256_backend() {
+  return detail::dispatched_compress() == &detail::compress_scalar ? "scalar"
+                                                                   : "sha-ni";
+}
+
+void Sha256::reset() {
+  std::memcpy(h_.data(), detail::kSha256Init, sizeof(detail::kSha256Init));
+  buf_len_ = 0;
+  total_len_ = 0;
 }
 
 void Sha256::update(BytesView data) {
@@ -89,13 +101,13 @@ void Sha256::update(BytesView data) {
     buf_len_ += take;
     off = take;
     if (buf_len_ == buf_.size()) {
-      compress(buf_.data());
+      compress_(h_.data(), buf_.data(), 1);
       buf_len_ = 0;
     }
   }
-  while (off + 64 <= data.size()) {
-    compress(data.data() + off);
-    off += 64;
+  if (const std::size_t full = (data.size() - off) / 64; full > 0) {
+    compress_(h_.data(), data.data() + off, full);
+    off += full * 64;
   }
   if (off < data.size()) {
     std::memcpy(buf_.data(), data.data() + off, data.size() - off);
@@ -115,7 +127,7 @@ Digest Sha256::finish() {
   }
   // Bypass total_len_ bookkeeping: the length block is part of padding.
   std::memcpy(buf_.data() + 56, len_be, 8);
-  compress(buf_.data());
+  compress_(h_.data(), buf_.data(), 1);
 
   Digest out{};
   for (std::size_t i = 0; i < 8; ++i) {
@@ -136,6 +148,12 @@ Digest sha256(BytesView data) {
 Digest sha256(std::string_view s) {
   Sha256 ctx;
   ctx.update(s);
+  return ctx.finish();
+}
+
+Digest sha256_portable(BytesView data) {
+  Sha256 ctx(Sha256::Backend::kScalar);
+  ctx.update(data);
   return ctx.finish();
 }
 

@@ -1,0 +1,103 @@
+// x86-64 SHA-NI backend for the SHA-256 block compression. Compiled with
+// per-function target attributes (no global -msha), so the object links into
+// portable builds; dispatched_compress() only selects it after
+// __builtin_cpu_supports says the CPU really has the extension.
+//
+// Round structure: the sha256rnds2 instruction retires two rounds per issue
+// on the ABEF/CDGH register split, and sha256msg1/sha256msg2 plus one
+// alignr+add compute the message-schedule recurrence
+//   W[i] = sigma1(W[i-2]) + W[i-7] + sigma0(W[i-15]) + W[i-16]
+// four lanes at a time. The loop below walks the sixteen 4-round groups with
+// a rotating 4-register schedule window: group g consumes M[g&3]
+// (= W[4g..4g+3]), finalizes the next value of M[(g+1)&3] during groups
+// 3..14, and applies the msg1 half for M[(g-1)&3]'s next value during groups
+// 1..12 — the same dataflow as the canonical unrolled SHA-NI sequence.
+#include "crypto/sha256.hpp"
+#include "crypto/sha256_internal.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DR_SHA256_HAVE_SHANI 1
+#include <immintrin.h>
+#endif
+
+namespace dr::crypto::detail {
+
+#ifdef DR_SHA256_HAVE_SHANI
+
+bool shani_supported() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("ssse3") &&
+         __builtin_cpu_supports("sse4.1");
+}
+
+__attribute__((target("sha,ssse3,sse4.1"))) void compress_shani(
+    std::uint32_t* state, const std::uint8_t* blocks, std::size_t nblocks) {
+  // Byte shuffle turning each 32-bit word big-endian within its lane.
+  const __m128i kBswap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Pack {a,b,c,d,e,f,g,h} into the ABEF / CDGH layout sha256rnds2 expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    const std::uint8_t* block = blocks + blk * 64;
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i m[4];
+    for (int i = 0; i < 4; ++i) {
+      m[i] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16 * i)),
+          kBswap);
+    }
+
+    for (int g = 0; g < 16; ++g) {
+      const __m128i k = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(&kSha256Round[4 * g]));
+      __m128i wk = _mm_add_epi32(m[g & 3], k);
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      if (g >= 3 && g <= 14) {
+        // W[i-7] lanes via alignr, then the sigma1 half of the recurrence.
+        const __m128i shifted = _mm_alignr_epi8(m[g & 3], m[(g + 3) & 3], 4);
+        m[(g + 1) & 3] = _mm_add_epi32(m[(g + 1) & 3], shifted);
+        m[(g + 1) & 3] = _mm_sha256msg2_epu32(m[(g + 1) & 3], m[g & 3]);
+      }
+      wk = _mm_shuffle_epi32(wk, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, wk);
+      if (g >= 1 && g <= 12) {
+        // sigma0(W[i-15]) + W[i-16] half, applied before the lanes are due.
+        m[(g + 3) & 3] = _mm_sha256msg1_epu32(m[(g + 3) & 3], m[g & 3]);
+      }
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+  }
+
+  // Unpack ABEF/CDGH back to {a..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+#else  // no SHA-NI on this target
+
+bool shani_supported() { return false; }
+
+void compress_shani(std::uint32_t* state, const std::uint8_t* blocks,
+                    std::size_t nblocks) {
+  // Unreachable by construction (dispatch checks shani_supported()); fall
+  // back to the scalar path rather than crash if called anyway.
+  compress_scalar(state, blocks, nblocks);
+}
+
+#endif  // DR_SHA256_HAVE_SHANI
+
+}  // namespace dr::crypto::detail

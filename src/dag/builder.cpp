@@ -19,7 +19,7 @@ DagBuilder::DagBuilder(Committee committee, ProcessId pid,
       last_round_from_(committee.n, 0) {
   DR_ASSERT(pid < committee.n);
   DR_ASSERT(options_.rounds_per_wave >= 1);
-  rbc_.set_deliver([this](ProcessId source, Round r, Bytes payload) {
+  rbc_.set_deliver([this](ProcessId source, Round r, net::Payload payload) {
     on_deliver(source, r, std::move(payload));
   });
 }
@@ -81,7 +81,7 @@ void DagBuilder::begin_restore(Round floor) {
   }
 }
 
-void DagBuilder::restore_deliver(ProcessId source, Round r, Bytes payload) {
+void DagBuilder::restore_deliver(ProcessId source, Round r, net::Payload payload) {
   DR_REQUIRE(phase_.restoring(),
              "restore_deliver outside begin/finish_restore");
   // Same gates as a live delivery (validate, dedup, parent gating); nothing
@@ -120,7 +120,7 @@ void DagBuilder::finish_restore() {
                static_cast<unsigned long long>(round_));
 }
 
-void DagBuilder::sync_deliver(ProcessId source, Round r, Bytes payload) {
+void DagBuilder::sync_deliver(ProcessId source, Round r, net::Payload payload) {
   ++stats_.sync_deliveries;
   on_deliver(source, r, std::move(payload), /*solicited=*/true);
 }
@@ -166,15 +166,18 @@ bool DagBuilder::validate(const Vertex& v) const {
   return true;
 }
 
-void DagBuilder::on_deliver(ProcessId source, Round r, Bytes payload,
+void DagBuilder::on_deliver(ProcessId source, Round r, net::Payload payload,
                             bool solicited) {
-  auto parsed = Vertex::deserialize(payload);
+  auto parsed = Vertex::deserialize(payload.view());
   if (!parsed) return;  // malformed Byzantine vertex — drop
   Vertex v = std::move(parsed).value();
   // Source and round come from the reliable broadcast metadata
   // (Alg. 2 lines 23-24); the payload cannot spoof them.
   v.source = source;
   v.round = r;
+  // Keep the delivered bytes: storage, catch-up serving, and block-digest
+  // windows all reuse this buffer instead of re-serializing (DESIGN.md §11).
+  v.wire = std::move(payload);
   if (r < gc_floor_) {  // arrived after its round was collected
     ++stats_.gc_dropped_deliveries;
     return;
@@ -330,10 +333,10 @@ void DagBuilder::propose(Round r) {
     // This round was proposed in a previous life: re-send the logged bytes
     // verbatim. Creating a fresh vertex here would put two different
     // vertices into one (source, round) slot — equivocation.
-    const Bytes payload = std::move(it->second);
+    Bytes payload = std::move(it->second);
     restored_proposals_.erase(it);
     ++stats_.proposals_rebroadcast;
-    rbc_.broadcast(r, payload);
+    rbc_.broadcast(r, std::move(payload));
     return;
   }
   Vertex v = create_new_vertex(r);
@@ -344,11 +347,11 @@ void DagBuilder::propose(Round r) {
   DR_LOG_TRACE("p%u broadcasts vertex round=%llu strong=%zu weak=%zu", pid_,
                static_cast<unsigned long long>(r), v.strong_edges.size(),
                v.weak_edges.size());
-  Bytes payload = v.serialize();
+  const net::Payload payload(v.serialize());
   // Persist-before-send: once these bytes can reach any peer, they are on
   // disk — a restart can only ever re-send them, never contradict them.
-  if (proposal_log_) proposal_log_(r, BytesView(payload));
-  rbc_.broadcast(r, std::move(payload));
+  if (proposal_log_) proposal_log_(r, payload.view());
+  rbc_.broadcast(r, payload);
 }
 
 Vertex DagBuilder::create_new_vertex(Round r) {

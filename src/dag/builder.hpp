@@ -124,7 +124,7 @@ class DagBuilder {
   /// compacted to it and the round counter resumes there (0 = full replay).
   void begin_restore(Round floor);
   /// Replays one logged r_delivery through the ordinary validation gates.
-  void restore_deliver(ProcessId source, Round r, Bytes payload);
+  void restore_deliver(ProcessId source, Round r, net::Payload payload);
   /// Registers one logged own proposal; it is re-broadcast verbatim at
   /// start() or when advancement re-reaches its round, never recreated.
   void restore_own_proposal(Round r, Bytes payload);
@@ -136,7 +136,7 @@ class DagBuilder {
   /// Catch-up path: a vertex fetched from f+1 agreeing peers rather than
   /// r_delivered by the RBC. Validated, deduplicated, parent-gated, and
   /// quota-bounded exactly like a live delivery.
-  void sync_deliver(ProcessId source, Round r, Bytes payload);
+  void sync_deliver(ProcessId source, Round r, net::Payload payload);
 
   const Dag& dag() const { return dag_; }
   ProcessId pid() const { return pid_; }
@@ -188,7 +188,7 @@ class DagBuilder {
   /// sync): those bypass the per-source flooding quota, because their volume
   /// is already bounded by the requester's in-flight window and dropping one
   /// would lose it permanently (the sync layer de-duplicates accepted ids).
-  void on_deliver(ProcessId source, Round r, Bytes payload,
+  void on_deliver(ProcessId source, Round r, net::Payload payload,
                   bool solicited = false);
   /// Drains the buffer and advances rounds until quiescent (Alg. 2 loop).
   void pump();

@@ -44,6 +44,22 @@ Expected<Vertex> Vertex::deserialize(BytesView data) {
   return v;
 }
 
+crypto::Digest Vertex::block_digest() const {
+  if (!wire.empty()) {
+    // Wire layout opens with [u32 block_len][block bytes ...]; a window over
+    // the block shares the wire buffer and memoizes its digest there.
+    ByteReader in(wire.view());
+    const std::uint32_t len = in.u32();
+    if (in.ok() && in.remaining() >= len) return wire.window(4, len).digest();
+  }
+  return crypto::sha256(block);
+}
+
+net::Payload Vertex::wire_payload() const {
+  if (!wire.empty()) return wire;
+  return net::Payload(serialize());
+}
+
 std::size_t Vertex::wire_size() const {
   return 4 + block.size() + 4 + 4 * strong_edges.size() + 4 +
          12 * weak_edges.size() + 1 + (has_coin_share ? 8 : 0);

@@ -10,6 +10,8 @@
 #include "common/bytes.hpp"
 #include "common/expected.hpp"
 #include "common/types.hpp"
+#include "crypto/sha256.hpp"
+#include "net/payload.hpp"
 
 namespace dr::dag {
 
@@ -43,8 +45,23 @@ struct Vertex {
   /// a vertex opening round 4w+1 may carry its sender's share for wave w.
   std::uint64_t coin_share = 0;
   bool has_coin_share = false;
+  /// The exact bytes this vertex travelled as (r_delivered payload or the
+  /// encoding produced at propose time). Empty only for vertices built field
+  /// by field in tests. The codec is bijective, so when set these bytes equal
+  /// serialize() — keeping them lets storage, catch-up, and digest consumers
+  /// reuse the buffer instead of re-encoding or re-hashing.
+  net::Payload wire;
 
   VertexId id() const { return VertexId{source, round}; }
+
+  /// Digest of the block bytes. When `wire` is set the digest is taken over
+  /// a window into that buffer (no copy); otherwise the block is hashed
+  /// directly. This is the single place block digests are computed.
+  crypto::Digest block_digest() const;
+
+  /// Serialized form of this vertex, reusing `wire` when available so the
+  /// common path performs no encoding work at all.
+  net::Payload wire_payload() const;
 
   /// Serialized form excludes source/round: those travel as reliable
   /// broadcast metadata and are stamped on delivery (Alg. 2 lines 23-24),

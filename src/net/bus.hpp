@@ -12,13 +12,16 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "net/channel.hpp"
+#include "net/payload.hpp"
 
 namespace dr::net {
 
 class Bus {
  public:
-  /// Delivery upcall for one (process, channel) subscription.
-  using Handler = std::function<void(ProcessId from, BytesView payload)>;
+  /// Delivery upcall for one (process, channel) subscription. The payload is
+  /// a shared immutable buffer: handlers may keep (refcounted) windows into
+  /// it or re-broadcast it without copying.
+  using Handler = std::function<void(ProcessId from, const Payload& payload)>;
 
   virtual ~Bus() = default;
 
@@ -32,11 +35,11 @@ class Bus {
   /// Point-to-point send. Self-sends are queued like any other message —
   /// never delivered synchronously — so handlers are not reentered.
   virtual void send(ProcessId from, ProcessId to, Channel channel,
-                    Bytes payload) = 0;
+                    Payload payload) = 0;
 
-  /// Sends the same payload to all n processes (including self).
-  virtual void broadcast(ProcessId from, Channel channel,
-                         const Bytes& payload) = 0;
+  /// Sends the same payload to all n processes (including self). Every link
+  /// shares one payload buffer — implementations must not deep-copy it.
+  virtual void broadcast(ProcessId from, Channel channel, Payload payload) = 0;
 };
 
 }  // namespace dr::net

@@ -2,12 +2,25 @@
 
 namespace dr::net {
 
+FrameHeader encode_frame_header(ProcessId from, Channel channel,
+                                std::size_t payload_len) {
+  DR_ASSERT_MSG(payload_len <= kMaxFramePayload, "frame payload too large");
+  FrameHeader h{};
+  const auto put_u32 = [&](std::size_t at, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      h[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  };
+  put_u32(0, static_cast<std::uint32_t>(payload_len));
+  put_u32(4, from);
+  put_u32(8, static_cast<std::uint32_t>(channel));
+  return h;
+}
+
 Bytes encode_frame(ProcessId from, Channel channel, BytesView payload) {
-  DR_ASSERT_MSG(payload.size() <= kMaxFramePayload, "frame payload too large");
+  const FrameHeader h = encode_frame_header(from, channel, payload.size());
   ByteWriter w(kFrameHeaderBytes + payload.size());
-  w.u32(static_cast<std::uint32_t>(payload.size()));
-  w.u32(from);
-  w.u32(static_cast<std::uint32_t>(channel));
+  w.raw(BytesView{h.data(), h.size()});
   w.raw(payload);
   return std::move(w).take();
 }
@@ -135,6 +148,11 @@ void FrameDecoder::feed(BytesView chunk) {
   buf_.insert(buf_.end(), chunk.begin(), chunk.end());
 }
 
+// GCC 12 false positive: inlining Payload's make_shared construction from
+// the temporary Bytes below trips -Wfree-nonheap-object (see
+// payload.cpp::copy_of for the identical pattern and rationale).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
 std::optional<Frame> FrameDecoder::next() {
   if (dead_) return std::nullopt;
   // Consumed prefix can never pass the write cursor; a violation means the
@@ -164,9 +182,10 @@ std::optional<Frame> FrameDecoder::next() {
   Frame f;
   f.from = from;
   f.channel = static_cast<Channel>(raw_channel);
-  f.payload = in.raw(len);
+  f.payload = Payload(in.raw(len));
   pos_ += kFrameHeaderBytes + len;
   return f;
 }
+#pragma GCC diagnostic pop
 
 }  // namespace dr::net

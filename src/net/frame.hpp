@@ -6,6 +6,7 @@
 // channel) must be rejected crisply instead of trusted.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -16,14 +17,17 @@
 #include "common/types.hpp"
 #include "core/contract.hpp"
 #include "net/channel.hpp"
+#include "net/payload.hpp"
 
 namespace dr::net {
 
-/// One routed protocol message, as carried by a Transport.
+/// One routed protocol message, as carried by a Transport. The payload is a
+/// shared immutable buffer: a broadcast's n frames all reference the same
+/// bytes, and moving a Frame through the Inbox never copies them.
 struct Frame {
   ProcessId from = 0;
   Channel channel = Channel::kBracha;
-  Bytes payload;
+  Payload payload;
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x52474144;  // "DAGR" LE
@@ -38,6 +42,13 @@ inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
 
 /// Frame wire layout: [u32 payload_len][u32 from][u32 channel][payload].
 inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+using FrameHeader = std::array<std::uint8_t, kFrameHeaderBytes>;
+
+/// Just the 12-byte header. The zero-copy send path writes this and the
+/// shared payload buffer as separate iovecs instead of concatenating.
+FrameHeader encode_frame_header(ProcessId from, Channel channel,
+                                std::size_t payload_len);
 
 Bytes encode_frame(ProcessId from, Channel channel, BytesView payload);
 

@@ -26,7 +26,7 @@ class InProcEndpoint final : public Transport {
     me.ready.store(true, std::memory_order_release);
   }
 
-  void send(ProcessId to, Channel channel, Bytes payload) override {
+  void send(ProcessId to, Channel channel, Payload payload) override {
     DR_ASSERT(to < shared_->committee.n);
     InProcNetwork::Peer& peer = shared_->peers[to];
     if (!peer.ready.load(std::memory_order_acquire)) {

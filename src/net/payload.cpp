@@ -1,0 +1,66 @@
+#include "net/payload.hpp"
+
+#include <atomic>
+
+#include "common/assert.hpp"
+
+namespace dr::net {
+namespace {
+
+std::atomic<std::uint64_t> g_copy_count{0};
+std::atomic<std::uint64_t> g_copied_bytes{0};
+
+const crypto::Digest& empty_digest() {
+  static const crypto::Digest d = crypto::sha256(BytesView{});
+  return d;
+}
+
+}  // namespace
+
+// GCC 12's middle end, after inlining make_shared<const Bytes> plus the
+// moved-from temporary's destructor, reports a spurious
+// -Wfree-nonheap-object ("delete at nonzero offset") on this path; no such
+// free exists — the vector's allocation moves wholesale into the shared
+// buffer.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+Payload Payload::copy_of(BytesView data) {
+  note_copy(data.size());
+  return Payload(Bytes(data.begin(), data.end()));
+}
+#pragma GCC diagnostic pop
+
+Payload Payload::window(std::size_t offset, std::size_t len) const {
+  DR_ASSERT_MSG(offset + len <= size(), "payload window out of range");
+  if (len == 0) return Payload{};
+  if (offset == 0 && len == size()) return *this;
+  return Payload(std::make_shared<const Rep>(rep_->buffer,
+                                             rep_->offset + offset, len));
+}
+
+const crypto::Digest& Payload::digest() const {
+  if (rep_ == nullptr) return empty_digest();
+  std::call_once(rep_->digest_once,
+                 [&] { rep_->digest_memo = crypto::sha256(view()); });
+  return rep_->digest_memo;
+}
+
+void Payload::note_copy(std::size_t n) {
+  g_copy_count.fetch_add(1, std::memory_order_relaxed);
+  g_copied_bytes.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Payload::copy_count() {
+  return g_copy_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Payload::copied_bytes() {
+  return g_copied_bytes.load(std::memory_order_relaxed);
+}
+
+void Payload::reset_copy_counters() {
+  g_copy_count.store(0, std::memory_order_relaxed);
+  g_copied_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dr::net

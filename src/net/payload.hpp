@@ -1,0 +1,96 @@
+// Refcounted immutable payload buffer — the zero-copy currency of the wire
+// layer (DESIGN.md §11). A broadcast encodes its bytes once and every link
+// (including the self-loop) shares the same buffer; a received frame's blob
+// can be re-broadcast or windowed into sub-ranges without copying. The
+// SHA-256 digest of a payload's bytes is memoized per window so each
+// distinct byte string is hashed at most once no matter how many protocol
+// layers ask for it (single-hash discipline).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace dr::net {
+
+/// Immutable shared byte buffer with an optional sub-range window.
+///
+/// Ownership model: copying a Payload bumps a refcount; the underlying bytes
+/// are never duplicated unless the caller explicitly asks (copy_of /
+/// to_bytes, both counted — see copy_count()). Windows share the parent's
+/// buffer and keep it alive; a window carries its own digest memo because
+/// its bytes differ from the parent's.
+///
+/// Thread-safety: the buffer is immutable after construction, so concurrent
+/// reads from transport/link threads are safe; digest() memoization is
+/// guarded by std::call_once.
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Takes ownership of the buffer — no copy. Implicit on purpose: every
+  /// send/broadcast call site that builds a message with ByteWriter hands
+  /// over the rvalue Bytes it just produced.
+  Payload(Bytes&& bytes)  // NOLINT(google-explicit-constructor)
+      : rep_(bytes.empty() ? nullptr
+                           : std::make_shared<const Rep>(std::move(bytes))) {}
+
+  /// Deep copy of a view the caller keeps owning. Counted (copy_count()).
+  static Payload copy_of(BytesView data);
+
+  std::size_t size() const { return rep_ == nullptr ? 0 : rep_->len; }
+  bool empty() const { return size() == 0; }
+  const std::uint8_t* data() const {
+    return rep_ == nullptr ? nullptr : rep_->buffer->data() + rep_->offset;
+  }
+  BytesView view() const { return BytesView{data(), size()}; }
+
+  /// Sub-range [offset, offset+len) sharing this payload's buffer — no copy;
+  /// the window keeps the whole buffer alive.
+  Payload window(std::size_t offset, std::size_t len) const;
+
+  /// SHA-256 of view(), computed at most once per window (thread-safe memo).
+  const crypto::Digest& digest() const;
+
+  /// Deep copy out, for callers that need an owned mutable Bytes. Counted.
+  Bytes to_bytes() const {
+    note_copy(size());
+    return Bytes(view().begin(), view().end());
+  }
+
+  /// Process-wide count of deep payload copies (copy_of / to_bytes) and the
+  /// bytes they moved, since the last reset. The zero-copy bench assertion
+  /// (bench_micro) resets this, broadcasts, and requires the count to stay 0.
+  static std::uint64_t copy_count();
+  static std::uint64_t copied_bytes();
+  static void reset_copy_counters();
+
+ private:
+  struct Rep {
+    explicit Rep(Bytes&& bytes)
+        : buffer(std::make_shared<const Bytes>(std::move(bytes))),
+          offset(0),
+          len(buffer->size()) {}
+    Rep(std::shared_ptr<const Bytes> buf, std::size_t off, std::size_t n)
+        : buffer(std::move(buf)), offset(off), len(n) {}
+
+    std::shared_ptr<const Bytes> buffer;
+    std::size_t offset = 0;
+    std::size_t len = 0;
+    mutable std::once_flag digest_once;
+    mutable crypto::Digest digest_memo{};
+  };
+
+  explicit Payload(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  static void note_copy(std::size_t n);
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace dr::net

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -22,6 +23,40 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
   std::size_t off = 0;
   while (off < len) {
     const ssize_t k = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+/// Writes one frame as a header+payload iovec pair, riding out partial
+/// writes and EINTR without ever concatenating the two buffers — the payload
+/// iovec points straight into the refcounted buffer shared across links.
+bool writev_frame(int fd, const std::uint8_t* header, std::size_t header_len,
+                  const std::uint8_t* payload, std::size_t payload_len) {
+  std::size_t off = 0;
+  const std::size_t total = header_len + payload_len;
+  while (off < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (off < header_len) {
+      iov[iovcnt].iov_base = const_cast<std::uint8_t*>(header + off);
+      iov[iovcnt].iov_len = header_len - off;
+      ++iovcnt;
+    }
+    const std::size_t p_off = off > header_len ? off - header_len : 0;
+    if (p_off < payload_len) {
+      iov[iovcnt].iov_base = const_cast<std::uint8_t*>(payload + p_off);
+      iov[iovcnt].iov_len = payload_len - p_off;
+      ++iovcnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t k = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (k < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -124,7 +159,7 @@ void TcpTransport::start(RecvFn recv) {
   }
 }
 
-void TcpTransport::send(ProcessId to, Channel channel, Bytes payload) {
+void TcpTransport::send(ProcessId to, Channel channel, Payload payload) {
   DR_ASSERT(to < committee_.n);
   if (!running_.load(std::memory_order_acquire)) return;
   if (to == pid_) {
@@ -133,10 +168,13 @@ void TcpTransport::send(ProcessId to, Channel channel, Bytes payload) {
     recv_(Frame{pid_, channel, std::move(payload)});
     return;
   }
-  enqueue(*out_[to], encode_frame(pid_, channel, payload));
+  OutFrame frame;
+  frame.header = encode_frame_header(pid_, channel, payload.size());
+  frame.payload = std::move(payload);
+  enqueue(*out_[to], std::move(frame));
 }
 
-void TcpTransport::enqueue(OutLink& link, Bytes encoded) {
+void TcpTransport::enqueue(OutLink& link, OutFrame frame) {
   std::unique_lock<std::mutex> lk(link.mu);
   if (link.closed) return;
   if (link.queue.size() >= opts_.send_queue_capacity) {
@@ -147,7 +185,7 @@ void TcpTransport::enqueue(OutLink& link, Bytes encoded) {
     }
     if (link.closed) return;
   }
-  link.queue.push_back(std::move(encoded));
+  link.queue.push_back(std::move(frame));
   link.cv.notify_all();
 }
 
@@ -200,7 +238,7 @@ void TcpTransport::writer_loop(OutLink& link) {
     return;
   }
 
-  std::vector<Bytes> batch;
+  std::vector<OutFrame> batch;
   while (true) {
     {
       std::unique_lock<std::mutex> lk(link.mu);
@@ -212,8 +250,9 @@ void TcpTransport::writer_loop(OutLink& link) {
       }
       link.cv.notify_all();  // wake senders blocked on a full queue
     }
-    for (Bytes& frame : batch) {
-      if (!write_all(fd, frame.data(), frame.size())) {
+    for (OutFrame& frame : batch) {
+      if (!writev_frame(fd, frame.header.data(), frame.header.size(),
+                        frame.payload.data(), frame.payload.size())) {
         DR_LOG_INFO("tcp p%u: link to %u died mid-write", pid_, link.peer);
         close_link();
         return;

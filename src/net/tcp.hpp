@@ -53,7 +53,7 @@ class TcpTransport final : public Transport {
   const Committee& committee() const override { return committee_; }
 
   void start(RecvFn recv) override;
-  void send(ProcessId to, Channel channel, Bytes payload) override;
+  void send(ProcessId to, Channel channel, Payload payload) override;
   void stop() override;
 
   std::uint64_t backpressure_overflows() const override {
@@ -65,12 +65,20 @@ class TcpTransport final : public Transport {
   }
 
  private:
+  /// One frame awaiting a link's socket: the per-link 12-byte header plus a
+  /// refcounted reference to the payload buffer shared with every other link
+  /// of the same broadcast. The writer sends both as one writev.
+  struct OutFrame {
+    FrameHeader header{};
+    Payload payload;
+  };
+
   struct OutLink {
     ProcessId peer = 0;
     std::thread writer;
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<Bytes> queue;  ///< encoded frames awaiting the socket
+    std::deque<OutFrame> queue;  ///< frames awaiting the socket
     bool closed = false;
     int fd = -1;  ///< guarded by mu; published so stop() can shutdown()
   };
@@ -79,7 +87,7 @@ class TcpTransport final : public Transport {
   void acceptor_loop();
   void reader_loop(std::size_t idx, int fd);
   int dial(const TcpPeer& peer) const;
-  void enqueue(OutLink& link, Bytes encoded);
+  void enqueue(OutLink& link, OutFrame frame);
 
   Committee committee_;
   ProcessId pid_;

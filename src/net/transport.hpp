@@ -29,8 +29,10 @@ class Transport {
 
   /// Queues `payload` for `to`. Self-sends loop back through the recv path
   /// (queued, never synchronous) so protocol code sees uniform semantics.
-  /// Blocking is the backpressure mechanism; see the implementations.
-  virtual void send(ProcessId to, Channel channel, Bytes payload) = 0;
+  /// Blocking is the backpressure mechanism; see the implementations. The
+  /// payload buffer is shared, never copied: a broadcast passes the same
+  /// Payload to all n sends and only the 12-byte frame header is per-link.
+  virtual void send(ProcessId to, Channel channel, Payload payload) = 0;
 
   /// Stops all transport threads and closes links. After return, no more
   /// recv callbacks fire. Idempotent.

@@ -21,16 +21,16 @@ CatchupSync::CatchupSync(net::Bus& bus, ProcessId pid,
             opts_.rounds_per_request <= net::kMaxSyncRoundSpan);
   DR_ASSERT(opts_.max_response_vertices <= net::kMaxSyncVertices);
   bus_.subscribe(pid_, net::Channel::kSync,
-                 [this](ProcessId from, BytesView payload) {
+                 [this](ProcessId from, const net::Payload& payload) {
                    on_sync_frame(from, payload);
                  });
 }
 
-void CatchupSync::on_sync_frame(ProcessId from, BytesView payload) {
+void CatchupSync::on_sync_frame(ProcessId from, const net::Payload& payload) {
   if (from == pid_) return;  // self-sync is meaningless
-  auto decoded = net::decode_sync_message(payload, committee_.n);
+  auto decoded = net::decode_sync_message(payload.view(), committee_.n);
   if (!decoded.ok()) return;  // malformed — drop, the codec validated shape
-  const net::SyncMessage& msg = decoded.value();
+  net::SyncMessage msg = std::move(decoded).value();
   if (msg.request.has_value()) {
     serve_request(from, *msg.request);
   } else if (msg.response.has_value()) {
@@ -59,10 +59,11 @@ void CatchupSync::serve_request(ProcessId from, const net::VertexRequest& req) {
       net::SyncVertex sv;
       sv.source = src;
       sv.round = r;
-      // Deterministic re-serialization: every correct peer derives identical
-      // bytes from its stored vertex, which is what makes the requester's
-      // f+1 byte-match rule meaningful.
-      sv.payload = v->serialize();
+      // Deterministic bytes: the codec is bijective, so the retained wire
+      // buffer (or a re-serialization, for restored vertices) yields the
+      // identical bytes on every correct peer — which is what makes the
+      // requester's f+1 byte-match rule meaningful.
+      sv.payload = v->wire_payload().to_bytes();
       bytes += sv.payload.size();
       if (bytes > opts_.max_response_bytes) break;
       resp.vertices.push_back(std::move(sv));
@@ -75,31 +76,33 @@ void CatchupSync::serve_request(ProcessId from, const net::VertexRequest& req) {
   bus_.send(pid_, from, net::Channel::kSync, encode_vertex_response(resp));
 }
 
-void CatchupSync::ingest_response(ProcessId from,
-                                  const net::VertexResponse& resp) {
+void CatchupSync::ingest_response(ProcessId from, net::VertexResponse& resp) {
   ++stats_.responses_received;
   // A response — any response — clears the peer's backoff: it is alive.
   peers_[from].backoff_until_us = 0;
   peers_[from].backoff_us = 0;
 
   const dag::Dag& dag = builder_.dag();
-  for (const net::SyncVertex& sv : resp.vertices) {
+  for (net::SyncVertex& sv : resp.vertices) {
     const VertexId id{sv.source, sv.round};
     if (sv.round < std::max<Round>(1, builder_.gc_floor())) continue;
     if (accepted_.count(id) > 0 || dag.contains(id)) continue;
+    net::Payload payload(std::move(sv.payload));
+    const crypto::Digest digest = payload.digest();
     auto& variants = tally_[id];
-    if (!variants.empty() && variants.count(Bytes(sv.payload)) == 0) {
+    if (!variants.empty() && variants.count(digest) == 0) {
       ++stats_.vertices_mismatched;  // conflicting bytes for one slot
     }
-    auto& vouchers = variants[Bytes(sv.payload)];
-    vouchers.insert(from);
+    Voucher& voucher = variants[digest];
+    if (voucher.peers.empty()) voucher.payload = std::move(payload);
+    voucher.peers.insert(from);
     // f+1 distinct peers with identical bytes: at least one is correct.
-    if (vouchers.size() >= committee_.small_quorum()) {
+    if (voucher.peers.size() >= committee_.small_quorum()) {
       ++stats_.vertices_accepted;
       accepted_.insert(id);
-      Bytes payload = sv.payload;
+      net::Payload vouched = std::move(voucher.payload);
       tally_.erase(id);
-      builder_.sync_deliver(sv.source, sv.round, std::move(payload));
+      builder_.sync_deliver(id.source, id.round, std::move(vouched));
     }
   }
 }
@@ -126,7 +129,8 @@ void CatchupSync::send_request(Round from, Round to, std::uint64_t now_us) {
   // Charging
   // each replica its backoff up front (an answer clears it) still rotates
   // retries away from crashed peers instead of hammering them.
-  const Bytes frame = encode_vertex_request(net::VertexRequest{from, to});
+  // One encoded request, shared by every replica send below.
+  const net::Payload frame(encode_vertex_request(net::VertexRequest{from, to}));
   std::uint32_t sent = 0;
   for (std::uint32_t k = 0; k < committee_.small_quorum(); ++k) {
     ProcessId peer = 0;

@@ -84,9 +84,9 @@ class CatchupSync {
     std::uint64_t backoff_us = 0;
   };
 
-  void on_sync_frame(ProcessId from, BytesView payload);
+  void on_sync_frame(ProcessId from, const net::Payload& payload);
   void serve_request(ProcessId from, const net::VertexRequest& req);
-  void ingest_response(ProcessId from, const net::VertexResponse& resp);
+  void ingest_response(ProcessId from, net::VertexResponse& resp);
   /// Drops tally/dedup state for ids the DAG has absorbed or GC retired.
   void prune(std::uint64_t now_us);
   /// Next peer (round-robin, != pid_) not currently backing off.
@@ -99,11 +99,21 @@ class CatchupSync {
   CatchupOptions opts_;
   Committee committee_;
 
+  /// One payload variant for a slot: the bytes (shared, not copied per
+  /// response) and the distinct peers that returned exactly these bytes.
+  struct Voucher {
+    net::Payload payload;
+    std::set<ProcessId> peers;
+  };
+
   std::vector<Inflight> inflight_;
   std::vector<PeerState> peers_;
   ProcessId next_peer_ = 0;  ///< round-robin cursor
-  /// Response tally: per slot, payload variant -> distinct peers vouching.
-  std::map<dag::VertexId, std::map<Bytes, std::set<ProcessId>>> tally_;
+  /// Response tally: per slot, payload digest -> voucher. Keying by the
+  /// memoized SHA-256 digest makes the f+1 byte-match rule O(1) per response
+  /// instead of a full byte-wise map compare, under the same
+  /// collision-resistance assumption the hash-echo RBC already relies on.
+  std::map<dag::VertexId, std::map<crypto::Digest, Voucher>> tally_;
   /// Slots already handed to the builder (sync_deliver is one-shot here).
   std::unordered_set<dag::VertexId, dag::VertexIdHash> accepted_;
   CatchupStats stats_;

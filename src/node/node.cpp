@@ -47,12 +47,14 @@ Node::Node(std::unique_ptr<net::Transport> transport,
   rider_ = std::make_unique<core::DagRider>(*builder_, *coin_);
   if (opts_.gc_depth_rounds > 0) rider_->enable_gc(opts_.gc_depth_rounds);
 
-  rider_->set_deliver([this](const Bytes& block, Round r, ProcessId src) {
+  rider_->set_deliver([this](const Bytes& block,
+                             const crypto::Digest& block_digest, Round r,
+                             ProcessId src) {
     const std::uint64_t t = now_us();
     {
       std::lock_guard<std::mutex> lk(log_mu_);
-      delivered_.push_back(core::DeliveredRecord{crypto::sha256(block),
-                                                 block.size(), r, src, t});
+      delivered_.push_back(
+          core::DeliveredRecord{block_digest, block.size(), r, src, t});
     }
     delivered_count_.fetch_add(1, std::memory_order_release);
     if (auto txs = txpool::decode_block(BytesView(block))) {
@@ -70,9 +72,9 @@ Node::Node(std::unique_ptr<net::Transport> transport,
   // itself, so proposals enter the builder on the node thread like any
   // other event.
   bus_.subscribe(my_pid, net::Channel::kApp,
-                 [this](ProcessId from, BytesView block) {
+                 [this](ProcessId from, const net::Payload& block) {
                    if (from != pid()) return;  // kApp is loopback-only
-                   rider_->a_bcast(Bytes(block.begin(), block.end()));
+                   rider_->a_bcast(block.to_bytes());
                  });
 
   if (!opts_.wal_dir.empty()) {

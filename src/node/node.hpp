@@ -99,16 +99,18 @@ class NodeBus final : public net::Bus {
   }
 
   void send(ProcessId from, ProcessId to, net::Channel channel,
-            Bytes payload) override {
+            net::Payload payload) override {
     DR_ASSERT(from == transport_.pid());
     transport_.send(to, channel, std::move(payload));
   }
 
   void broadcast(ProcessId from, net::Channel channel,
-                 const Bytes& payload) override {
+                 net::Payload payload) override {
     DR_ASSERT(from == transport_.pid());
+    // All n links (and the self-loop) share one payload buffer; only the
+    // frame header is per-destination.
     for (ProcessId to = 0; to < committee().n; ++to) {
-      transport_.send(to, channel, Bytes(payload));
+      transport_.send(to, channel, payload);
     }
   }
 
@@ -116,7 +118,7 @@ class NodeBus final : public net::Bus {
   void dispatch(const net::Frame& f) {
     const auto idx = static_cast<std::uint32_t>(f.channel);
     if (idx < handlers_.size() && handlers_[idx]) {
-      handlers_[idx](f.from, BytesView(f.payload));
+      handlers_[idx](f.from, f.payload);
     }
   }
 

@@ -41,11 +41,15 @@ AvidRbc::AvidRbc(net::Bus& net, ProcessId pid)
           net.n() - net.committee().small_quorum())  // m = n-f-1 parity
 {
   net_.subscribe(pid_, net::Channel::kAvid,
-                 [this](ProcessId from, BytesView data) { on_message(from, data); });
+                 [this](ProcessId from, const net::Payload& msg) {
+                   on_message(from, msg.view());
+                 });
 }
 
-void AvidRbc::broadcast(Round r, Bytes payload) {
-  const std::vector<Bytes> fragments = rs_.encode(payload);
+void AvidRbc::broadcast(Round r, net::Payload payload) {
+  // AVID sends a distinct fragment to each peer, so the fan-out is
+  // inherently per-recipient; the shared-buffer optimization does not apply.
+  const std::vector<Bytes> fragments = rs_.encode(payload.view());
   DR_ASSERT(fragments.size() == net_.n());
   const crypto::MerkleTree tree(fragments);
   for (ProcessId to = 0; to < net_.n(); ++to) {
@@ -173,7 +177,7 @@ void AvidRbc::maybe_progress(const InstanceKey& key, const crypto::Digest& root)
     Bytes payload = std::move(*pr.reconstructed);
     inst.by_root.clear();
     contract_on_deliver(key.source, key.round);
-    if (deliver_) deliver_(key.source, key.round, payload);
+    if (deliver_) deliver_(key.source, key.round, net::Payload(std::move(payload)));
   }
 }
 

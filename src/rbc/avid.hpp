@@ -37,7 +37,7 @@ class AvidRbc final : public ReliableBroadcast {
   AvidRbc(net::Bus& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
-  void broadcast(Round r, Bytes payload) override;
+  void broadcast(Round r, net::Payload payload) override;
 
  private:
   enum MsgType : std::uint8_t { kDisperse = 1, kEcho = 2, kReady = 3 };

@@ -11,8 +11,8 @@ AvidDispersal::AvidDispersal(net::Bus& net, ProcessId pid,
       channel_(channel),
       rs_(net.committee().small_quorum(),
           net.n() - net.committee().small_quorum()) {
-  net_.subscribe(pid_, channel_, [this](ProcessId from, BytesView data) {
-    on_message(from, data);
+  net_.subscribe(pid_, channel_, [this](ProcessId from, const net::Payload& msg) {
+    on_message(from, msg.view());
   });
 }
 

@@ -1,10 +1,21 @@
 #include "rbc/bracha.hpp"
 
+#include <algorithm>
+
 namespace dr::rbc {
+namespace {
+
+/// Offset of the payload bytes inside an encoded Bracha message:
+/// [u8 type][u32 source][u64 round][u32 blob_len] = 17 bytes of header.
+constexpr std::size_t kPayloadOffset = 1 + 4 + 8 + 4;
+
+}  // namespace
 
 BrachaRbc::BrachaRbc(net::Bus& net, ProcessId pid) : net_(net), pid_(pid) {
   net_.subscribe(pid_, net::Channel::kBracha,
-                 [this](ProcessId from, BytesView data) { on_message(from, data); });
+                 [this](ProcessId from, const net::Payload& msg) {
+                   on_message(from, msg);
+                 });
 }
 
 Bytes BrachaRbc::encode(MsgType type, ProcessId source, Round r,
@@ -17,54 +28,72 @@ Bytes BrachaRbc::encode(MsgType type, ProcessId source, Round r,
   return std::move(w).take();
 }
 
-void BrachaRbc::broadcast(Round r, Bytes payload) {
-  net_.broadcast(pid_, net::Channel::kBracha, encode(kSend, pid_, r, payload));
+void BrachaRbc::broadcast(Round r, net::Payload payload) {
+  net_.broadcast(pid_, net::Channel::kBracha,
+                 encode(kSend, pid_, r, payload.view()));
 }
 
-void BrachaRbc::on_message(ProcessId from, BytesView data) {
-  ByteReader in(data);
+void BrachaRbc::on_message(ProcessId from, const net::Payload& msg) {
+  ByteReader in(msg.view());
   const auto type = static_cast<MsgType>(in.u8());
   const ProcessId source = in.u32();
   const Round round = in.u64();
-  Bytes payload = in.blob();
-  if (!in.done() || source >= net_.n()) return;  // malformed
+  const std::uint32_t len = in.u32();
+  if (!in.ok() || in.remaining() != len || source >= net_.n()) {
+    return;  // malformed
+  }
   // SEND must come from its claimed source; the network authenticates links,
   // so a Byzantine process cannot forge someone else's broadcast.
   if (type == kSend && from != source) return;
+  if (type != kSend && type != kEcho && type != kReady) return;
 
   const InstanceKey key{source, round};
   Instance& inst = instances_[key];
   if (inst.delivered) return;
-  const crypto::Digest digest = crypto::sha256(payload);
-  PerPayload& pp = inst.by_digest[digest];
+
+  // Classify this message's payload against the variants already tracked by
+  // raw byte comparison before falling back to hashing: equal bytes imply an
+  // equal digest, and in the common (non-equivocating) case every SEND, ECHO
+  // and READY of an instance carries the same bytes — so the 2n+1 messages
+  // of one well-behaved broadcast cost one SHA-256, not 2n+1.
+  const BytesView body{msg.data() + kPayloadOffset, len};
+  PerPayload* pp = nullptr;
+  crypto::Digest digest;
+  for (auto& [d, cand] : inst.by_digest) {
+    if (cand.have_payload && cand.payload.size() == len &&
+        std::equal(body.begin(), body.end(), cand.payload.view().begin())) {
+      digest = d;
+      pp = &cand;
+      break;
+    }
+  }
+  if (pp == nullptr) {
+    // First time this byte pattern is seen: hash it once, via a window that
+    // shares the message buffer (no copy) and memoizes the digest.
+    net::Payload window = msg.window(kPayloadOffset, len);
+    digest = window.digest();
+    pp = &inst.by_digest[digest];
+    if (!pp->have_payload) {
+      pp->payload = std::move(window);
+      pp->have_payload = true;
+    }
+  }
 
   switch (type) {
     case kSend: {
-      if (!pp.have_payload) {
-        pp.payload = std::move(payload);
-        pp.have_payload = true;
-      }
       if (!inst.echoed) {
         inst.echoed = true;
         net_.broadcast(pid_, net::Channel::kBracha,
-                       encode(kEcho, source, round, pp.payload));
+                       encode(kEcho, source, round, pp->payload.view()));
       }
       break;
     }
     case kEcho: {
-      if (!pp.have_payload) {
-        pp.payload = std::move(payload);
-        pp.have_payload = true;
-      }
-      pp.echoes.insert(from);
+      pp->echoes.insert(from);
       break;
     }
     case kReady: {
-      if (!pp.have_payload) {
-        pp.payload = std::move(payload);
-        pp.have_payload = true;
-      }
-      pp.readies.insert(from);
+      pp->readies.insert(from);
       break;
     }
     default:
@@ -84,7 +113,7 @@ void BrachaRbc::maybe_progress(const InstanceKey& key, const crypto::Digest& dig
   if (ready_trigger && !inst.readied && pp.have_payload) {
     inst.readied = true;
     net_.broadcast(pid_, net::Channel::kBracha,
-                   encode(kReady, key.source, key.round, pp.payload));
+                   encode(kReady, key.source, key.round, pp.payload.view()));
   }
   if (pp.readies.size() >= quorum && pp.have_payload && !inst.delivered) {
     inst.delivered = true;

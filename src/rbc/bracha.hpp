@@ -23,7 +23,7 @@ class BrachaRbc final : public ReliableBroadcast {
   BrachaRbc(net::Bus& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
-  void broadcast(Round r, Bytes payload) override;
+  void broadcast(Round r, net::Payload payload) override;
 
  private:
   enum MsgType : std::uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
@@ -40,7 +40,7 @@ class BrachaRbc final : public ReliableBroadcast {
   struct PerPayload {
     std::unordered_set<ProcessId> echoes;
     std::unordered_set<ProcessId> readies;
-    Bytes payload;  // first full copy seen (from SEND or ECHO)
+    net::Payload payload;  ///< window into the first carrying message seen
     bool have_payload = false;
   };
 
@@ -51,7 +51,7 @@ class BrachaRbc final : public ReliableBroadcast {
     bool delivered = false;
   };
 
-  void on_message(ProcessId from, BytesView data);
+  void on_message(ProcessId from, const net::Payload& msg);
   void maybe_progress(const InstanceKey& key, const crypto::Digest& digest);
   Bytes encode(MsgType type, ProcessId source, Round r, BytesView payload) const;
 

@@ -1,11 +1,20 @@
 #include "rbc/bracha_hash.hpp"
 
 namespace dr::rbc {
+namespace {
+
+/// Offset of the payload bytes inside kSend / kPayload messages:
+/// [u8 type][u32 source][u64 round][u32 blob_len].
+constexpr std::size_t kPayloadOffset = 1 + 4 + 8 + 4;
+
+}  // namespace
 
 BrachaHashRbc::BrachaHashRbc(net::Bus& net, ProcessId pid)
     : net_(net), pid_(pid) {
   net_.subscribe(pid_, net::Channel::kBracha,
-                 [this](ProcessId from, BytesView data) { on_message(from, data); });
+                 [this](ProcessId from, const net::Payload& msg) {
+                   on_message(from, msg);
+                 });
 }
 
 Bytes BrachaHashRbc::header(MsgType type, ProcessId source, Round r) const {
@@ -16,17 +25,17 @@ Bytes BrachaHashRbc::header(MsgType type, ProcessId source, Round r) const {
   return std::move(w).take();
 }
 
-void BrachaHashRbc::broadcast(Round r, Bytes payload) {
+void BrachaHashRbc::broadcast(Round r, net::Payload payload) {
   ByteWriter w(payload.size() + 20);
   w.u8(kSend);
   w.u32(pid_);
   w.u64(r);
-  w.blob(payload);
+  w.blob(payload.view());
   net_.broadcast(pid_, net::Channel::kBracha, std::move(w).take());
 }
 
-void BrachaHashRbc::on_message(ProcessId from, BytesView data) {
-  ByteReader in(data);
+void BrachaHashRbc::on_message(ProcessId from, const net::Payload& msg) {
+  ByteReader in(msg.view());
   const auto type = static_cast<MsgType>(in.u8());
   const ProcessId source = in.u32();
   const Round round = in.u64();
@@ -36,11 +45,13 @@ void BrachaHashRbc::on_message(ProcessId from, BytesView data) {
 
   switch (type) {
     case kSend: {
-      Bytes payload = in.blob();
-      if (!in.done() || from != source) return;
+      const std::uint32_t len = in.u32();
+      if (!in.ok() || in.remaining() != len || from != source) return;
       if (!inst.have_payload) {
-        inst.payload_digest = crypto::sha256(payload);
-        inst.payload = std::move(payload);
+        // Window into the SEND frame: no copy, and the digest memo rides the
+        // window so delivery/fetch verification never re-hashes.
+        inst.payload = msg.window(kPayloadOffset, len);
+        inst.payload_digest = inst.payload.digest();
         inst.have_payload = true;
       }
       if (!inst.echoed) {
@@ -76,14 +87,15 @@ void BrachaHashRbc::on_message(ProcessId from, BytesView data) {
       w.u8(kPayload);
       w.u32(source);
       w.u64(round);
-      w.blob(inst.payload);
+      w.blob(inst.payload.view());
       net_.send(pid_, from, net::Channel::kBracha, std::move(w).take());
       break;
     }
     case kPayload: {
-      Bytes payload = in.blob();
-      if (!in.done() || inst.have_payload) return;
-      const crypto::Digest d = crypto::sha256(payload);
+      const std::uint32_t len = in.u32();
+      if (!in.ok() || in.remaining() != len || inst.have_payload) return;
+      net::Payload body = msg.window(kPayloadOffset, len);
+      const crypto::Digest d = body.digest();
       // Accept only a payload we are actually waiting on (READY quorum for
       // this digest exists); a Byzantine responder cannot plant junk.
       auto it = inst.by_digest.find(d);
@@ -92,7 +104,7 @@ void BrachaHashRbc::on_message(ProcessId from, BytesView data) {
         return;
       }
       inst.payload_digest = d;
-      inst.payload = std::move(payload);
+      inst.payload = std::move(body);
       inst.have_payload = true;
       maybe_progress(key, d);
       break;
@@ -139,7 +151,7 @@ void BrachaHashRbc::maybe_progress(const InstanceKey& key,
   w.u32(key.source);
   w.u64(key.round);
   w.raw(BytesView{digest.data(), digest.size()});
-  const Bytes fetch = std::move(w).take();
+  const net::Payload fetch(std::move(w).take());
   for (ProcessId holder : pd.echoes) {
     if (pd.fetched_from.insert(holder).second) {
       net_.send(pid_, holder, net::Channel::kBracha, fetch);

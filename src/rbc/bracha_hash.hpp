@@ -34,7 +34,7 @@ class BrachaHashRbc final : public ReliableBroadcast {
   BrachaHashRbc(net::Bus& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
-  void broadcast(Round r, Bytes payload) override;
+  void broadcast(Round r, net::Payload payload) override;
 
  private:
   enum MsgType : std::uint8_t {
@@ -64,7 +64,7 @@ class BrachaHashRbc final : public ReliableBroadcast {
 
   struct Instance {
     std::map<crypto::Digest, PerDigest> by_digest;
-    Bytes payload;
+    net::Payload payload;  ///< window into the SEND/PAYLOAD message it rode in
     bool have_payload = false;
     crypto::Digest payload_digest{};
     bool echoed = false;
@@ -72,7 +72,7 @@ class BrachaHashRbc final : public ReliableBroadcast {
     bool delivered = false;
   };
 
-  void on_message(ProcessId from, BytesView data);
+  void on_message(ProcessId from, const net::Payload& msg);
   void maybe_progress(const InstanceKey& key, const crypto::Digest& digest);
   Bytes header(MsgType type, ProcessId source, Round r) const;
 

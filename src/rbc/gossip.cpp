@@ -54,52 +54,54 @@ GossipRbc::GossipRbc(net::Bus& net, ProcessId pid, std::uint64_t system_seed,
   }
 
   net_.subscribe(pid_, net::Channel::kGossip,
-                 [this](ProcessId from, BytesView data) { on_message(from, data); });
+                 [this](ProcessId from, const net::Payload& msg) {
+                   on_message(from, msg);
+                 });
 }
 
-void GossipRbc::broadcast(Round r, Bytes payload) {
+void GossipRbc::broadcast(Round r, net::Payload payload) {
   ByteWriter w(payload.size() + 20);
   w.u8(kGossip);
   w.u32(pid_);
   w.u64(r);
-  w.blob(payload);
-  const Bytes msg = std::move(w).take();
+  w.blob(payload.view());
+  const net::Payload msg(std::move(w).take());
   // The sender seeds dissemination through its own gossip sample and also
-  // processes the payload locally (self-delivery path).
+  // processes the payload locally (self-delivery path). Every send shares
+  // the one encoded buffer.
   for (ProcessId to : gossip_targets_) {
     net_.send(pid_, to, net::Channel::kGossip, msg);
   }
   const InstanceKey key{pid_, r};
   Instance& inst = instances_[key];
-  handle_payload(key, inst, std::move(payload));
+  // The local path keeps a window into the encoded message so the digest
+  // memo is shared with the bytes that went out on the wire.
+  handle_payload(key, inst, msg.window(1 + 4 + 8 + 4, payload.size()));
 }
 
-void GossipRbc::on_message(ProcessId from, BytesView data) {
-  ByteReader in(data);
+void GossipRbc::on_message(ProcessId from, const net::Payload& msg) {
+  ByteReader in(msg.view());
   const auto type = static_cast<MsgType>(in.u8());
 
   if (type == kGossip) {
     const ProcessId source = in.u32();
     const Round round = in.u64();
-    Bytes payload = in.blob();
-    if (!in.done() || source >= net_.n()) return;
+    const std::uint32_t len = in.u32();
+    constexpr std::size_t kPayloadOffset = 1 + 4 + 8 + 4;
+    if (!in.ok() || in.remaining() != len || source >= net_.n()) return;
     const InstanceKey key{source, round};
     Instance& inst = instances_[key];
     if (inst.have_payload) return;  // already seen; stop the rumor here
-    // Forward before consuming: rumor spreading.
+    // Forward before consuming: rumor spreading. The relayed message is
+    // byte-identical to the one received, so forward the incoming frame's
+    // buffer itself — zero re-encoding, zero copies.
     if (!inst.forwarded) {
       inst.forwarded = true;
-      ByteWriter w(payload.size() + 20);
-      w.u8(kGossip);
-      w.u32(source);
-      w.u64(round);
-      w.blob(payload);
-      const Bytes msg = std::move(w).take();
       for (ProcessId to : gossip_targets_) {
         if (to != from) net_.send(pid_, to, net::Channel::kGossip, msg);
       }
     }
-    handle_payload(key, inst, std::move(payload));
+    handle_payload(key, inst, msg.window(kPayloadOffset, len));
     return;
   }
 
@@ -123,11 +125,11 @@ void GossipRbc::on_message(ProcessId from, BytesView data) {
 }
 
 void GossipRbc::handle_payload(const InstanceKey& key, Instance& inst,
-                               Bytes payload) {
+                               net::Payload payload) {
   if (inst.have_payload) return;
   inst.have_payload = true;
-  inst.payload_digest = crypto::sha256(payload);
   inst.payload = std::move(payload);
+  inst.payload_digest = inst.payload.digest();  // memoized on the window
   if (!inst.echoed) {
     inst.echoed = true;
     ByteWriter w(64);
@@ -135,7 +137,7 @@ void GossipRbc::handle_payload(const InstanceKey& key, Instance& inst,
     w.u32(key.source);
     w.u64(key.round);
     w.raw(BytesView{inst.payload_digest.data(), inst.payload_digest.size()});
-    const Bytes msg = std::move(w).take();
+    const net::Payload msg(std::move(w).take());
     for (ProcessId to : echo_subscribers_) {
       net_.send(pid_, to, net::Channel::kGossip, msg);
     }

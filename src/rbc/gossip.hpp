@@ -41,7 +41,7 @@ class GossipRbc final : public ReliableBroadcast {
             GossipParams params = {});
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
-  void broadcast(Round r, Bytes payload) override;
+  void broadcast(Round r, net::Payload payload) override;
 
   std::uint32_t gossip_fanout() const { return fanout_; }
   std::uint32_t echo_sample_size() const { return sample_; }
@@ -58,7 +58,7 @@ class GossipRbc final : public ReliableBroadcast {
   };
 
   struct Instance {
-    Bytes payload;
+    net::Payload payload;
     bool have_payload = false;
     crypto::Digest payload_digest{};
     std::map<crypto::Digest, std::unordered_set<ProcessId>> echoes;
@@ -67,8 +67,9 @@ class GossipRbc final : public ReliableBroadcast {
     bool delivered = false;
   };
 
-  void on_message(ProcessId from, BytesView data);
-  void handle_payload(const InstanceKey& key, Instance& inst, Bytes payload);
+  void on_message(ProcessId from, const net::Payload& msg);
+  void handle_payload(const InstanceKey& key, Instance& inst,
+                      net::Payload payload);
   void maybe_deliver(const InstanceKey& key, Instance& inst);
   static std::vector<ProcessId> sample_of(std::uint64_t system_seed,
                                           std::uint32_t n, ProcessId owner,

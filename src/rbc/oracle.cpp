@@ -4,27 +4,30 @@ namespace dr::rbc {
 
 OracleRbc::OracleRbc(net::Bus& net, ProcessId pid) : net_(net), pid_(pid) {
   net_.subscribe(pid_, net::Channel::kOracle,
-                 [this](ProcessId from, BytesView data) { on_message(from, data); });
+                 [this](ProcessId from, const net::Payload& msg) {
+                   on_message(from, msg);
+                 });
 }
 
-void OracleRbc::broadcast(Round r, Bytes payload) {
+void OracleRbc::broadcast(Round r, net::Payload payload) {
   ByteWriter w(payload.size() + 12);
   w.u64(r);
-  w.blob(payload);
+  w.blob(payload.view());
   net_.broadcast(pid_, net::Channel::kOracle, std::move(w).take());
 }
 
-void OracleRbc::on_message(ProcessId from, BytesView data) {
-  ByteReader in(data);
+void OracleRbc::on_message(ProcessId from, const net::Payload& msg) {
+  ByteReader in(msg.view());
   const Round r = in.u64();
-  Bytes payload = in.blob();
-  if (!in.done()) return;
+  const std::uint32_t len = in.u32();
+  if (!in.ok() || in.remaining() != len) return;
   // Integrity: first payload per (source, round) wins; an equivocating
   // sender is silently reduced to its first message, which is exactly the
   // guarantee a real RBC provides.
   if (!delivered_.emplace(from, r).second) return;
   contract_on_deliver(from, r);
-  if (deliver_) deliver_(from, r, payload);
+  // Blob starts after [u64 r][u32 len] = 12 header bytes.
+  if (deliver_) deliver_(from, r, msg.window(12, len));
 }
 
 }  // namespace dr::rbc

@@ -20,10 +20,10 @@ class OracleRbc final : public ReliableBroadcast {
   OracleRbc(net::Bus& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
-  void broadcast(Round r, Bytes payload) override;
+  void broadcast(Round r, net::Payload payload) override;
 
  private:
-  void on_message(ProcessId from, BytesView data);
+  void on_message(ProcessId from, const net::Payload& msg);
 
   net::Bus& net_;
   ProcessId pid_;

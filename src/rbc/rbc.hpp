@@ -27,9 +27,12 @@ namespace dr::rbc {
 
 class ReliableBroadcast {
  public:
-  /// r_deliver(m, r, p_k): payload m broadcast by source in round r.
+  /// r_deliver(m, r, p_k): payload m broadcast by source in round r. The
+  /// payload is a shared immutable buffer (usually a window into the frame
+  /// it arrived in); its memoized digest carries across layers, so consumers
+  /// never re-hash bytes the broadcast already classified.
   using DeliverFn =
-      std::function<void(ProcessId source, Round r, Bytes payload)>;
+      std::function<void(ProcessId source, Round r, net::Payload payload)>;
 
   virtual ~ReliableBroadcast() = default;
 
@@ -39,7 +42,7 @@ class ReliableBroadcast {
   /// r_bcast(m, r) by this process. At most one call per round per process
   /// (the DAG layer guarantees this; Byzantine components may violate it and
   /// the abstraction's Integrity property masks the damage).
-  virtual void broadcast(Round r, Bytes payload) = 0;
+  virtual void broadcast(Round r, net::Payload payload) = 0;
 
  protected:
   /// Contract hook: every implementation calls this immediately before its

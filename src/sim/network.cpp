@@ -23,7 +23,8 @@ void Network::subscribe(ProcessId pid, Channel channel, Handler handler) {
   handlers_[pid][static_cast<std::uint32_t>(channel)] = std::move(handler);
 }
 
-void Network::send(ProcessId from, ProcessId to, Channel channel, Bytes payload) {
+void Network::send(ProcessId from, ProcessId to, Channel channel,
+                   net::Payload payload) {
   DR_ASSERT(from < committee_.n && to < committee_.n);
   if (crashed_[from]) return;  // a crashed process sends nothing
 
@@ -50,7 +51,9 @@ void Network::send(ProcessId from, ProcessId to, Channel channel, Bytes payload)
   });
 }
 
-void Network::broadcast(ProcessId from, Channel channel, const Bytes& payload) {
+void Network::broadcast(ProcessId from, Channel channel, net::Payload payload) {
+  // Each send's closure takes a refcount on the same buffer — n scheduled
+  // deliveries, zero payload copies.
   for (ProcessId to = 0; to < committee_.n; ++to) {
     send(from, to, channel, payload);
   }

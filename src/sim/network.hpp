@@ -80,10 +80,13 @@ class Network final : public net::Bus {
   /// Point-to-point send. Counted against `from`'s traffic. Self-sends are
   /// delivered through the queue like any other message (with delay), which
   /// keeps protocol logic uniform.
-  void send(ProcessId from, ProcessId to, Channel channel, Bytes payload) override;
+  void send(ProcessId from, ProcessId to, Channel channel,
+            net::Payload payload) override;
 
-  /// Convenience: sends the same payload to all n processes (including self).
-  void broadcast(ProcessId from, Channel channel, const Bytes& payload) override;
+  /// Convenience: sends the same payload to all n processes (including self);
+  /// the n scheduled deliveries share one payload buffer. Wire accounting is
+  /// unchanged — each link still counts the full payload size.
+  void broadcast(ProcessId from, Channel channel, net::Payload payload) override;
 
   /// Marks a process as (adaptively) corrupted. Per the model, the adversary
   /// may drop this process's messages that are still in flight; we drop them

@@ -156,7 +156,9 @@ void VertexStore::append_vertex(const dag::Vertex& v) {
   rec.type = WalRecordType::kVertex;
   rec.source = v.source;
   rec.round = v.round;
-  rec.payload = v.serialize();
+  // wire_payload() reuses the delivered bytes when the vertex still carries
+  // them (the common case) — no re-serialization on the append path.
+  rec.payload = v.wire_payload().to_bytes();
   append_record(rec);
   ++stats_.vertices_appended;
 }
@@ -212,7 +214,7 @@ void VertexStore::compact(const Snapshot& snap, const dag::Dag& dag) {
         rec.type = WalRecordType::kVertex;
         rec.source = p;
         rec.round = r;
-        rec.payload = v->serialize();
+        rec.payload = v->wire_payload().to_bytes();
         const Bytes encoded = encode_wal_record(rec);
         write_all(f, BytesView(encoded));
         ++kept;

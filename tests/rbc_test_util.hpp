@@ -49,8 +49,8 @@ class RbcHarness {
     for (ProcessId p = 0; p < committee.n; ++p) {
       instances_.push_back(factory(net_, p, seed));
       instances_.back()->set_deliver(
-          [this, p](ProcessId source, Round r, Bytes payload) {
-            logs_[p].entries.push_back({source, r, std::move(payload)});
+          [this, p](ProcessId source, Round r, net::Payload payload) {
+            logs_[p].entries.push_back({source, r, payload.to_bytes()});
           });
     }
   }

@@ -62,6 +62,47 @@ TEST(Sha256, DigestPrefixIsStable) {
   EXPECT_NE(digest_prefix_u64(d), 0u);
 }
 
+TEST(Sha256, BackendIsReported) {
+  const char* backend = sha256_backend();
+  ASSERT_NE(backend, nullptr);
+  EXPECT_TRUE(std::string_view(backend) == "sha-ni" ||
+              std::string_view(backend) == "scalar");
+}
+
+TEST(Sha256, DispatchedMatchesScalarOnRandomInputs) {
+  // Bit-identity between the runtime-dispatched compression (SHA-NI when the
+  // CPU has it) and the portable scalar path, across sizes that cover the
+  // empty input, sub-block, exact-block, and multi-block cases.
+  Xoshiro256 rng(20240805);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t len = static_cast<std::size_t>(rng.below(1024));
+    Bytes msg(len);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng());
+    const Digest fast = sha256(BytesView(msg));
+    const Digest slow = sha256_portable(BytesView(msg));
+    ASSERT_EQ(fast, slow) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ScalarBackendInstanceMatchesDefault) {
+  const std::string msg(300, 'x');
+  Sha256 fast;
+  Sha256 slow(Sha256::Backend::kScalar);
+  fast.update(msg);
+  slow.update(msg);
+  EXPECT_EQ(fast.finish(), slow.finish());
+}
+
+TEST(Sha256, BoundaryLengthsMatchScalar) {
+  // Exercise every length around the 64-byte block boundary where the
+  // padding/length-encoding logic and the multi-block fast path interact.
+  for (std::size_t len = 0; len <= 260; ++len) {
+    const Bytes msg(len, static_cast<std::uint8_t>(len));
+    ASSERT_EQ(sha256(BytesView(msg)), sha256_portable(BytesView(msg)))
+        << "len=" << len;
+  }
+}
+
 TEST(GF256, AddIsXor) {
   EXPECT_EQ(GF256::add(0x57, 0x83), 0x57 ^ 0x83);
   EXPECT_EQ(GF256::add(0xFF, 0xFF), 0);

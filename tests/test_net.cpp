@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "crypto/sha256.hpp"
 #include "net/frame.hpp"
 #include "net/inbox.hpp"
 #include "net/inproc.hpp"
@@ -46,7 +47,7 @@ TEST(FrameCodec, RoundTripWholeAndByteAtATime) {
     ASSERT_TRUE(f.has_value());
     EXPECT_EQ(f->from, from);
     EXPECT_EQ(f->channel, ch);
-    EXPECT_EQ(f->payload, payload);
+    EXPECT_EQ(f->payload.to_bytes(), payload);
     EXPECT_FALSE(whole.next().has_value());
     EXPECT_FALSE(whole.dead());
 
@@ -54,7 +55,7 @@ TEST(FrameCodec, RoundTripWholeAndByteAtATime) {
     for (std::uint8_t b : wire) dribble.feed(BytesView{&b, 1});
     f = dribble.next();
     ASSERT_TRUE(f.has_value());
-    EXPECT_EQ(f->payload, payload);
+    EXPECT_EQ(f->payload.to_bytes(), payload);
   }
 }
 
@@ -118,6 +119,128 @@ TEST(FrameCodec, DecoderSurvivesRandomGarbage) {
     }
     // Either dead or waiting for more bytes; never crash.
   }
+}
+
+// ---------------------------------------------------------------------------
+// Payload: the refcounted immutable buffer the whole messaging stack shares.
+
+TEST(Payload, WindowSharesBufferWithoutCopying) {
+  Bytes data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  const Bytes expect = data;
+  Payload::reset_copy_counters();
+  const Payload whole(std::move(data));
+  const Payload mid = whole.window(100, 500);
+  EXPECT_EQ(Payload::copy_count(), 0u);  // windows never copy
+  ASSERT_EQ(mid.size(), 500u);
+  EXPECT_EQ(mid.data()[0], expect[100]);
+  EXPECT_EQ(mid.data(), whole.data() + 100);  // same underlying storage
+}
+
+TEST(Payload, WindowOutlivesParentPayload) {
+  // The window holds a reference on the shared buffer: dropping every other
+  // handle must not invalidate it (ASan would flag a dangling view here).
+  Payload window;
+  {
+    Bytes data(256, 0x5A);
+    Payload whole(std::move(data));
+    window = whole.window(64, 128);
+  }
+  ASSERT_EQ(window.size(), 128u);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    ASSERT_EQ(window.data()[i], 0x5A);
+  }
+}
+
+TEST(Payload, DigestIsMemoizedPerWindow) {
+  Bytes data(300, 0x77);
+  const Payload p(std::move(data));
+  const crypto::Digest d1 = p.digest();
+  const crypto::Digest d2 = p.digest();
+  EXPECT_EQ(d1, d2);
+  Bytes same(300, 0x77);
+  EXPECT_EQ(d1, crypto::sha256(BytesView(same)));
+  // A window hashes only its slice, not the parent range.
+  const Payload w = p.window(10, 100);
+  Bytes slice(100, 0x77);
+  EXPECT_EQ(w.digest(), crypto::sha256(BytesView(slice)));
+}
+
+TEST(Payload, ToBytesCopiesAndCounts) {
+  Bytes data{1, 2, 3, 4};
+  const Payload p(std::move(data));
+  Payload::reset_copy_counters();
+  const Bytes out = p.to_bytes();
+  EXPECT_EQ(out, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(Payload::copy_count(), 1u);
+  EXPECT_EQ(Payload::copied_bytes(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Aliasing: once bytes enter the messaging layer, nothing the caller does to
+// its own storage may change what peers decode.
+
+TEST(InProc, SenderMutationAfterSendDoesNotReachReceiver) {
+  const Committee committee = Committee::for_f(1);
+  InProcNetwork network(committee);
+  auto sender = network.endpoint(0);
+  auto receiver = network.endpoint(1);
+  std::mutex mu;
+  std::vector<Bytes> got;
+  receiver->start([&](Frame f) {
+    std::lock_guard<std::mutex> lk(mu);
+    got.push_back(f.payload.to_bytes());
+  });
+  sender->start([](Frame) {});
+
+  Bytes block(64, 0xAA);
+  sender->send(1, Channel::kGossip, std::move(block));
+  // The moved-from vector is fair game for the caller: reuse and refill it.
+  block.assign(64, 0xEE);
+  sender->send(1, Channel::kGossip, std::move(block));
+  block.assign(64, 0x00);  // mutate again after the second send
+
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], Bytes(64, 0xAA));
+    EXPECT_EQ(got[1], Bytes(64, 0xEE));
+  }
+  sender->stop();
+  receiver->stop();
+}
+
+TEST(InProc, BroadcastPayloadIsSharedNotCopied) {
+  const Committee committee = Committee::for_f(1);
+  InProcNetwork network(committee);
+  std::vector<std::unique_ptr<Transport>> eps;
+  for (ProcessId pid = 0; pid < committee.n; ++pid) {
+    eps.push_back(network.endpoint(pid));
+  }
+  std::mutex mu;
+  std::vector<const std::uint8_t*> seen_ptrs;
+  for (ProcessId pid = 0; pid < committee.n; ++pid) {
+    eps[pid]->start([&](Frame f) {
+      std::lock_guard<std::mutex> lk(mu);
+      seen_ptrs.push_back(f.payload.data());
+    });
+  }
+  const Payload shared(Bytes(512, 0x42));
+  Payload::reset_copy_counters();
+  for (ProcessId to = 0; to < committee.n; ++to) {
+    eps[0]->send(to, Channel::kGossip, shared);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(seen_ptrs.size(), committee.n);
+    for (const std::uint8_t* p : seen_ptrs) {
+      EXPECT_EQ(p, shared.data());  // every recipient sees the one buffer
+    }
+  }
+  EXPECT_EQ(Payload::copy_count(), 0u);
+  for (auto& ep : eps) ep->stop();
 }
 
 TEST(Handshake, RoundTrip) {
@@ -283,8 +406,58 @@ TEST(Tcp, LoopbackClusterExchangesFrames) {
     for (ProcessId pid = 0; pid < committee.n; ++pid) {
       EXPECT_EQ(got[pid].size(), expect);
       for (const Frame& f : got[pid]) {
-        EXPECT_EQ(f.payload.at(0), f.from);
+        EXPECT_EQ(f.payload.data()[0], f.from);
       }
+    }
+  }
+}
+
+TEST(Tcp, SenderMutationAfterSendDoesNotReachReceiver) {
+  // The TCP writer queues the payload by reference (shared buffer) and
+  // writes it from another thread later; the caller reusing its vector in
+  // the meantime must not corrupt the frame on the wire.
+  const Committee committee = Committee::for_f(1);
+  const auto ports = pick_free_ports(committee.n);
+  std::vector<TcpPeer> peers;
+  for (auto p : ports) peers.push_back(TcpPeer{"127.0.0.1", p});
+
+  std::vector<std::unique_ptr<TcpTransport>> eps;
+  for (ProcessId pid = 0; pid < committee.n; ++pid) {
+    eps.push_back(std::make_unique<TcpTransport>(committee, pid, peers));
+  }
+  std::mutex mu;
+  std::vector<Bytes> got;
+  for (ProcessId pid = 0; pid < committee.n; ++pid) {
+    eps[pid]->start([&, pid](Frame f) {
+      if (pid != 1) return;
+      std::lock_guard<std::mutex> lk(mu);
+      got.push_back(f.payload.to_bytes());
+    });
+  }
+  constexpr std::size_t kFrames = 200;
+  Bytes scratch;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    scratch.assign(256, static_cast<std::uint8_t>(i));
+    eps[0]->send(1, Channel::kBracha, std::move(scratch));
+    // Immediately reuse the (moved-from) vector with conflicting content
+    // while the writer thread may still be draining the queue.
+    scratch.assign(256, 0xFF);
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (got.size() >= kFrames) break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "tcp exchange stalled";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (auto& ep : eps) ep->stop();
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(got.size(), kFrames);
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      EXPECT_EQ(got[i], Bytes(256, static_cast<std::uint8_t>(i))) << "frame " << i;
     }
   }
 }

@@ -28,7 +28,7 @@ TEST_P(RbcParam, ValidityCorrectSenderDeliversEverywhere) {
   const auto [kind, n] = GetParam();
   RbcHarness h(Committee::for_n(n), kind, 1234);
   const Bytes msg = payload_of("hello world");
-  h.instance(0).broadcast(7, msg);
+  h.instance(0).broadcast(7, Bytes(msg));
   h.sim().run();
   for (ProcessId p = 0; p < n; ++p) {
     const auto* e = h.log(p).find(0, 7);
@@ -98,7 +98,7 @@ TEST_P(RbcParam, LargePayloadRoundTrips) {
   Bytes big(10'000);
   Xoshiro256 rng(3);
   for (auto& b : big) b = static_cast<std::uint8_t>(rng());
-  h.instance(1).broadcast(2, big);
+  h.instance(1).broadcast(2, Bytes(big));
   h.sim().run();
   for (ProcessId p = 0; p < n; ++p) {
     const auto* e = h.log(p).find(1, 2);
@@ -261,11 +261,11 @@ TEST(BrachaHash, CheaperThanClassicBrachaOnLargePayloads) {
   const Bytes payload(8'000, 0x3C);
 
   RbcHarness classic(c, RbcKind::kBracha, 5);
-  classic.instance(0).broadcast(1, payload);
+  classic.instance(0).broadcast(1, Bytes(payload));
   classic.sim().run();
 
   RbcHarness hashed(c, RbcKind::kBrachaHash, 5);
-  hashed.instance(0).broadcast(1, payload);
+  hashed.instance(0).broadcast(1, Bytes(payload));
   hashed.sim().run();
 
   for (ProcessId p = 0; p < c.n; ++p) {
@@ -288,7 +288,7 @@ TEST(BrachaHash, PullPathDeliversWhenSendMissed) {
   w.u32(3);
   w.u64(1);
   w.blob(payload);
-  const Bytes send = std::move(w).take();
+  const net::Payload send(std::move(w).take());
   h.net().send(3, 1, sim::Channel::kBracha, send);
   h.net().send(3, 2, sim::Channel::kBracha, send);
   h.net().send(3, 3, sim::Channel::kBracha, send);
@@ -327,12 +327,12 @@ TEST(GossipRbc, CheaperThanBrachaPerBroadcast) {
   const Bytes payload(2000, 0x11);
 
   RbcHarness bracha(c, RbcKind::kBracha, 7);
-  bracha.instance(0).broadcast(1, payload);
+  bracha.instance(0).broadcast(1, Bytes(payload));
   bracha.sim().run();
   const std::uint64_t bracha_bytes = bracha.net().total_bytes_sent();
 
   RbcHarness gossip(c, RbcKind::kGossip, 7);
-  gossip.instance(0).broadcast(1, payload);
+  gossip.instance(0).broadcast(1, Bytes(payload));
   gossip.sim().run();
   const std::uint64_t gossip_bytes = gossip.net().total_bytes_sent();
 

@@ -87,10 +87,11 @@ class NetworkTest : public ::testing::Test {
 TEST_F(NetworkTest, DeliversToSubscribedHandlerWithSender) {
   ProcessId got_from = kInvalidProcess;
   Bytes got;
-  net_.subscribe(1, Channel::kApp, [&](ProcessId from, BytesView data) {
-    got_from = from;
-    got.assign(data.begin(), data.end());
-  });
+  net_.subscribe(1, Channel::kApp,
+                 [&](ProcessId from, const net::Payload& data) {
+                   got_from = from;
+                   got = data.to_bytes();
+                 });
   net_.send(0, 1, Channel::kApp, Bytes{1, 2, 3});
   sim_.run();
   EXPECT_EQ(got_from, 0u);
@@ -99,8 +100,8 @@ TEST_F(NetworkTest, DeliversToSubscribedHandlerWithSender) {
 
 TEST_F(NetworkTest, ChannelsAreIsolated) {
   int app = 0, coin = 0;
-  net_.subscribe(1, Channel::kApp, [&](ProcessId, BytesView) { ++app; });
-  net_.subscribe(1, Channel::kCoin, [&](ProcessId, BytesView) { ++coin; });
+  net_.subscribe(1, Channel::kApp, [&](ProcessId, const net::Payload&) { ++app; });
+  net_.subscribe(1, Channel::kCoin, [&](ProcessId, const net::Payload&) { ++coin; });
   net_.send(0, 1, Channel::kApp, Bytes{1});
   net_.send(0, 1, Channel::kApp, Bytes{2});
   net_.send(0, 1, Channel::kCoin, Bytes{3});
@@ -112,7 +113,7 @@ TEST_F(NetworkTest, ChannelsAreIsolated) {
 TEST_F(NetworkTest, BroadcastReachesEveryoneIncludingSelf) {
   int delivered = 0;
   for (ProcessId p = 0; p < 4; ++p) {
-    net_.subscribe(p, Channel::kApp, [&](ProcessId, BytesView) { ++delivered; });
+    net_.subscribe(p, Channel::kApp, [&](ProcessId, const net::Payload&) { ++delivered; });
   }
   net_.broadcast(2, Channel::kApp, Bytes{9});
   sim_.run();
@@ -120,7 +121,7 @@ TEST_F(NetworkTest, BroadcastReachesEveryoneIncludingSelf) {
 }
 
 TEST_F(NetworkTest, TrafficAccounting) {
-  net_.subscribe(1, Channel::kApp, [](ProcessId, BytesView) {});
+  net_.subscribe(1, Channel::kApp, [](ProcessId, const net::Payload&) {});
   net_.send(0, 1, Channel::kApp, Bytes(100, 0));
   net_.send(0, 1, Channel::kApp, Bytes(50, 0));
   sim_.run();
@@ -134,7 +135,7 @@ TEST_F(NetworkTest, TrafficAccounting) {
 }
 
 TEST_F(NetworkTest, HonestBytesExcludeCorrupted) {
-  net_.subscribe(1, Channel::kApp, [](ProcessId, BytesView) {});
+  net_.subscribe(1, Channel::kApp, [](ProcessId, const net::Payload&) {});
   net_.send(0, 1, Channel::kApp, Bytes(100, 0));
   net_.send(3, 1, Channel::kApp, Bytes(40, 0));
   sim_.run();
@@ -145,8 +146,8 @@ TEST_F(NetworkTest, HonestBytesExcludeCorrupted) {
 
 TEST_F(NetworkTest, CrashedProcessNeitherSendsNorReceives) {
   int got = 0;
-  net_.subscribe(1, Channel::kApp, [&](ProcessId, BytesView) { ++got; });
-  net_.subscribe(2, Channel::kApp, [&](ProcessId, BytesView) { ++got; });
+  net_.subscribe(1, Channel::kApp, [&](ProcessId, const net::Payload&) { ++got; });
+  net_.subscribe(2, Channel::kApp, [&](ProcessId, const net::Payload&) { ++got; });
   net_.crash(2);
   net_.send(2, 1, Channel::kApp, Bytes{1});  // from crashed: dropped
   net_.send(0, 2, Channel::kApp, Bytes{2});  // to crashed: dropped
@@ -159,7 +160,7 @@ TEST_F(NetworkTest, AdaptiveCorruptionDropsInFlightMessages) {
   // The paper's adversary: once it corrupts a process, it can drop messages
   // that process sent but that have not yet been delivered.
   int got = 0;
-  net_.subscribe(1, Channel::kApp, [&](ProcessId, BytesView) { ++got; });
+  net_.subscribe(1, Channel::kApp, [&](ProcessId, const net::Payload&) { ++got; });
   net_.send(0, 1, Channel::kApp, Bytes{1});  // in flight
   net_.corrupt(0);                           // corrupt before delivery
   sim_.run();
@@ -168,7 +169,7 @@ TEST_F(NetworkTest, AdaptiveCorruptionDropsInFlightMessages) {
 
 TEST_F(NetworkTest, MessagesDeliveredBeforeCorruptionSurvive) {
   int got = 0;
-  net_.subscribe(1, Channel::kApp, [&](ProcessId, BytesView) { ++got; });
+  net_.subscribe(1, Channel::kApp, [&](ProcessId, const net::Payload&) { ++got; });
   net_.send(0, 1, Channel::kApp, Bytes{1});
   sim_.run();  // delivered
   net_.corrupt(0);

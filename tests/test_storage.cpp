@@ -63,7 +63,7 @@ TEST(Wal, RoundTripThroughChunkedFeed) {
   const Committee c = committee4();
   Bytes stream = encode_wal_header(c, /*pid=*/2);
   std::vector<WalRecord> want;
-  for (int i = 0; i < 7; ++i) {
+  for (std::uint32_t i = 0; i < 7; ++i) {
     want.push_back(sample_record(
         i % 3 == 0 ? WalRecordType::kProposal : WalRecordType::kVertex,
         i % 3 == 0 ? 2 : static_cast<ProcessId>(i % c.n),
@@ -104,7 +104,8 @@ TEST(Wal, TornTailIsTruncationNotDeath) {
   stream.insert(stream.end(), r1.begin(), r1.end());
   const std::size_t clean_end = stream.size();
   // Half of the second record: a torn append, the expected crash artifact.
-  stream.insert(stream.end(), r2.begin(), r2.begin() + r2.size() / 2);
+  stream.insert(stream.end(), r2.begin(),
+                r2.begin() + static_cast<std::ptrdiff_t>(r2.size() / 2));
 
   WalDecoder dec(c, 0);
   dec.feed(BytesView(stream));
@@ -149,7 +150,7 @@ Snapshot sample_snapshot() {
   s.pid = 3;
   s.gc_floor = 9;
   s.decided_wave = 4;
-  for (int i = 0; i < 5; ++i) {
+  for (std::uint32_t i = 0; i < 5; ++i) {
     core::DeliveredRecord d;
     d.block_digest.fill(static_cast<std::uint8_t>(i));
     d.block_size = 100 + i;
@@ -348,7 +349,7 @@ namespace {
 class NoopRbc final : public rbc::ReliableBroadcast {
  public:
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
-  void broadcast(Round, Bytes) override { ++broadcasts; }
+  void broadcast(Round, net::Payload) override { ++broadcasts; }
   void inject(ProcessId source, Round r, Bytes payload) {
     deliver_(source, r, std::move(payload));
   }

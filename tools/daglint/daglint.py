@@ -49,6 +49,17 @@ Rules (each suppressible per line with `// daglint: allow(<rule>)`):
                     crash-recovery state where replay can't see it and
                     blocking disk calls inside protocol handlers.
 
+  payload-hash      No bare `crypto::sha256(` outside src/crypto/ and the
+                    sanctioned codec boundary (sha256_allowlist.txt next to
+                    this script, matched by path suffix). Payload bytes are
+                    hashed exactly once and memoized on net::Payload
+                    (DESIGN.md §11); a stray sha256 call re-hashes the same
+                    buffer per protocol layer and silently unwinds the
+                    single-hash discipline. Domain-separated helpers
+                    (sha256_tagged, sha256_portable) are exempt: the first
+                    hashes non-payload protocol transcripts, the second
+                    exists only for backend cross-checks.
+
 Usage:
   daglint.py [--rules r1,r2] [--list-rules] PATH...
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -192,9 +203,32 @@ FILE_IO_PATTERNS = [
     (re.compile(r"::\s*open\s*\("), "raw open() syscall"),
 ]
 
+# Bare one-shot hash of a payload: `crypto::sha256(...)` or an unqualified
+# `sha256(...)` (inside-namespace call). The trailing `\(` keeps the exempt
+# helpers (sha256_tagged, sha256_portable, sha256_backend) from matching.
+SHA256_CALL = re.compile(r"(?<![\w:])(?:crypto\s*::\s*)?sha256\s*\(")
+
 PROTOCOL_DIRS = ("core", "dag", "rbc", "coin")
 CONCURRENCY_DIRS = ("net", "node")
 STORAGE_DIRS = ("storage",)
+CRYPTO_DIRS = ("crypto",)
+
+SHA256_ALLOWLIST_FILE = Path(__file__).resolve().parent / "sha256_allowlist.txt"
+_sha256_allowlist_cache: list[str] | None = None
+
+
+def sha256_allowlist() -> list[str]:
+    """Path suffixes where a bare crypto::sha256( call is sanctioned."""
+    global _sha256_allowlist_cache
+    if _sha256_allowlist_cache is None:
+        entries: list[str] = []
+        if SHA256_ALLOWLIST_FILE.is_file():
+            for raw in SHA256_ALLOWLIST_FILE.read_text(encoding="utf-8").splitlines():
+                entry = raw.strip()
+                if entry and not entry.startswith("#"):
+                    entries.append(entry)
+        _sha256_allowlist_cache = entries
+    return _sha256_allowlist_cache
 
 
 def check_file(path: Path, text: str, rules) -> list[Finding]:
@@ -220,6 +254,8 @@ def check_file(path: Path, text: str, rules) -> list[Finding]:
     in_protocol = in_dirs(path, PROTOCOL_DIRS)
     in_concurrency = in_dirs(path, CONCURRENCY_DIRS)
     in_storage = in_dirs(path, STORAGE_DIRS)
+    sha256_sanctioned = in_dirs(path, CRYPTO_DIRS) or any(
+        rel(path).endswith(entry) for entry in sha256_allowlist())
 
     for idx, line in enumerate(code_lines, start=1):
         if not is_types_hpp:
@@ -250,6 +286,12 @@ def check_file(path: Path, text: str, rules) -> list[Finding]:
                            msg + " outside src/storage/; all durability goes "
                            "through the WAL + snapshot store (DESIGN.md §10)")
                     break
+        if not sha256_sanctioned and SHA256_CALL.search(line):
+            report(idx, "payload-hash",
+                   "bare crypto::sha256() outside src/crypto/ and the codec "
+                   "boundary; consume the memoized net::Payload::digest() "
+                   "(single-hash discipline, DESIGN.md §11) or add this file "
+                   "to tools/daglint/sha256_allowlist.txt")
         if (NODISCARD_NAMES.search(line) and NODISCARD_RET.search(line) and
                 not NODISCARD_QUALIFIED_DEF.search(line)):
             has_attr = NODISCARD_ATTR in line or (
@@ -270,6 +312,7 @@ ALL_RULES = (
     "raw-random",
     "nodiscard-decode",
     "file-io",
+    "payload-hash",
 )
 
 

@@ -213,6 +213,52 @@ class FileIo(unittest.TestCase):
         self.assertEqual(rules_of(findings), set())
 
 
+class PayloadHash(unittest.TestCase):
+    def test_bare_sha256_in_rbc_flagged(self):
+        findings = lint_snippet(
+            "src/rbc/bad.cpp",
+            "void on_echo(BytesView blob) {\n"
+            "  const auto d = crypto::sha256(blob);\n}\n")
+        self.assertIn("payload-hash", rules_of(findings))
+
+    def test_unqualified_sha256_in_node_flagged(self):
+        findings = lint_snippet(
+            "src/node/bad.cpp",
+            "using namespace crypto;\nauto d = sha256(block);\n")
+        self.assertIn("payload-hash", rules_of(findings))
+
+    def test_sha256_tagged_exempt(self):
+        # Domain-separated transcript hashing, not a payload re-hash.
+        findings = lint_snippet(
+            "src/rbc/good.cpp",
+            'auto d = crypto::sha256_tagged("gossip-id", blob);\n')
+        self.assertEqual(rules_of(findings), set())
+
+    def test_crypto_dir_exempt(self):
+        findings = lint_snippet(
+            "src/crypto/merkle.cpp",
+            "auto h = crypto::sha256(concat);\n")
+        self.assertEqual(rules_of(findings), set())
+
+    def test_allowlisted_codec_boundary_exempt(self):
+        findings = lint_snippet(
+            "src/net/payload.cpp",
+            "rep_->digest_memo = crypto::sha256(view());\n")
+        self.assertEqual(rules_of(findings), set())
+
+    def test_payload_digest_call_clean(self):
+        findings = lint_snippet(
+            "src/node/good.cpp",
+            "const crypto::Digest d = payload.digest();\n")
+        self.assertEqual(rules_of(findings), set())
+
+    def test_allow_comment_suppresses(self):
+        findings = lint_snippet(
+            "src/core/special.cpp",
+            "auto d = crypto::sha256(b);  // daglint: allow(payload-hash)\n")
+        self.assertEqual(rules_of(findings), set())
+
+
 class StripComments(unittest.TestCase):
     def test_line_numbers_preserved(self):
         text = "int a;\n/* two\nline comment */\nstd::mutex bad;\n"
