@@ -14,6 +14,11 @@
 // node of a durable 4-node cluster mid-run, restarts it from its WAL, and
 // reports how long WAL replay + peer catch-up took to rejoin the commit
 // frontier (requires --wal, or falls back to a temp directory).
+// With --chaos [seed] the whole cluster runs behind net::ChaosTransport
+// under ChaosPlan::randomized(seed): throughput/latency under seeded link
+// faults, with the injected-fault counters emitted as their own table (and
+// into --json), so fault pressure is auditable next to the numbers it
+// degraded.
 #include <atomic>
 #include <filesystem>
 #include <mutex>
@@ -21,6 +26,7 @@
 #include "bench_util.hpp"
 #include "core/audit.hpp"
 #include "metrics/counters.hpp"
+#include "net/chaos.hpp"
 #include "node/cluster.hpp"
 #include "txpool/transaction.hpp"
 
@@ -46,13 +52,22 @@ std::string wal_base(const std::string& config) {
 
 RealtimeRun run_cluster(std::uint32_t n, std::size_t block_max_txs,
                         std::uint64_t total_txs, std::size_t tx_payload,
-                        const std::string& wal_dir = "") {
+                        const std::string& wal_dir = "",
+                        const net::ChaosPlan* plan = nullptr,
+                        metrics::Counters* counters_out = nullptr) {
   node::NodeOptions opts;
   opts.seed = 1234;
   opts.block_max_txs = block_max_txs;
   opts.wal_dir = wal_dir;
   Committee committee = Committee::for_n(n);
-  node::Cluster cluster(committee, opts);
+  node::ClusterTweaks tweaks;
+  if (plan != nullptr) {
+    tweaks.transport_wrap = [plan](ProcessId,
+                                   std::unique_ptr<net::Transport> inner) {
+      return std::make_unique<net::ChaosTransport>(std::move(inner), *plan);
+    };
+  }
+  node::Cluster cluster(committee, opts, std::move(tweaks));
 
   // Latency samples and completion tracking, fed by node 0's deliver hook.
   metrics::Summary latency_ms;
@@ -99,6 +114,13 @@ RealtimeRun run_cluster(std::uint32_t n, std::size_t block_max_txs,
   const std::uint64_t commits = probe.commits_snapshot().size();
   const std::uint64_t blocks = probe.delivered_count();
   cluster.stop();
+  if (counters_out != nullptr) {
+    std::vector<metrics::Counters> per_node;
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      per_node.push_back(cluster.node(pid).counters());
+    }
+    *counters_out = metrics::aggregate(per_node);
+  }
 
   const auto violation =
       core::audit_logs(cluster.delivered_logs(), cluster.commit_logs());
@@ -231,11 +253,54 @@ void measure_restart() {
   emit(t);
 }
 
+// --chaos: the committee-size sweep with every endpoint wrapped in a
+// ChaosTransport running ChaosPlan::randomized(chaos_seed()). Reports the
+// same throughput/latency columns (now under fault pressure) plus one table
+// of injected-fault and backpressure counters per configuration.
+void sweep_chaos() {
+  const std::uint64_t total = smoke() ? 1'000 : 10'000;
+  metrics::Table t({"n", "txs/s", "blocks/s", "commits/s", "p50 ms", "p99 ms"});
+  metrics::Table faults({"n", "counter", "value"});
+  for (std::uint32_t n : std::vector<std::uint32_t>{4, 7}) {
+    if (smoke() && n > 4) continue;
+    const net::ChaosPlan plan = net::ChaosPlan::randomized(chaos_seed(), n);
+    std::printf("chaos n=%u %s\n", n, plan.describe().c_str());
+    metrics::Counters counters;
+    const RealtimeRun r =
+        run_cluster(n, /*block_max_txs=*/256, total, /*tx_payload=*/32,
+                    wal_base("rt-chaos-n" + std::to_string(n)), &plan,
+                    &counters);
+    t.add_row({std::to_string(n),
+               r.ok ? metrics::Table::fmt(r.txs_per_sec, 0) : "stall",
+               metrics::Table::fmt(r.blocks_per_sec, 0),
+               metrics::Table::fmt(r.commits_per_sec, 1),
+               metrics::Table::fmt(r.p50_ms, 2),
+               metrics::Table::fmt(r.p99_ms, 2)});
+    for (const auto& [name, value] : counters) {
+      if (name.rfind("transport.chaos.", 0) == 0 ||
+          name == "transport.backpressure_overflows") {
+        faults.add_row({std::to_string(n), name,
+                        metrics::Table::fmt_u64(value)});
+      }
+    }
+  }
+  emit(t);
+  emit(faults);
+}
+
 }  // namespace
 }  // namespace dr::bench
 
 int main(int argc, char** argv) {
   dr::bench::bench_init(argc, argv);
+  if (dr::bench::chaos_mode()) {
+    dr::bench::print_header(
+        "RT-CHAOS",
+        "real-concurrency runtime under seeded chaos faults (in-proc)");
+    dr::bench::sweep_chaos();
+    dr::bench::bench_finish();
+    return 0;
+  }
   if (dr::bench::restart_mode()) {
     dr::bench::print_header(
         "RT-RESTART", "crash restart: WAL replay + catch-up rejoin latency");

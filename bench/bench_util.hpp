@@ -26,11 +26,17 @@ inline const std::vector<std::uint32_t> kSweepN = {4, 7, 10, 13, 16};
 ///                   per configuration), measuring the append+flush overhead
 ///   --restart       crash-recovery mode: kill + restart a node and report
 ///                   WAL replay + catch-up time (bench_realtime_throughput)
+///   --chaos [seed]  chaos mode: run the cluster behind net::ChaosTransport
+///                   under ChaosPlan::randomized(seed) and report throughput
+///                   under faults plus the injected-fault counter table
+///                   (bench_realtime_throughput; default seed 1)
 struct BenchArgs {
   std::string json_path;
   std::string wal_dir;
   bool restart = false;
   bool smoke = false;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -45,6 +51,11 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       out.restart = true;
     } else if (a == "--smoke") {
       out.smoke = true;
+    } else if (a == "--chaos") {
+      out.chaos = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        out.chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+      }
     }
   }
   return out;
@@ -64,6 +75,8 @@ class BenchIo {
   bool smoke() const { return args_.smoke; }
   const std::string& wal_dir() const { return args_.wal_dir; }
   bool restart() const { return args_.restart; }
+  bool chaos() const { return args_.chaos; }
+  std::uint64_t chaos_seed() const { return args_.chaos_seed; }
   void section(std::string id) { section_ = std::move(id); }
 
   void emit(const metrics::Table& t) {
@@ -128,6 +141,8 @@ inline const std::string& bench_wal_dir() {
   return BenchIo::instance().wal_dir();
 }
 inline bool restart_mode() { return BenchIo::instance().restart(); }
+inline bool chaos_mode() { return BenchIo::instance().chaos(); }
+inline std::uint64_t chaos_seed() { return BenchIo::instance().chaos_seed(); }
 inline void emit(const metrics::Table& t) { BenchIo::instance().emit(t); }
 
 /// kSweepN, trimmed in smoke mode.

@@ -3,9 +3,7 @@
 #include "dag/vertex.hpp"
 
 namespace dr::core {
-namespace {
 
-/// Mirrors BrachaRbc's SEND wire format (type | source | round | blob).
 Bytes encode_bracha_send(ProcessId source, Round r, BytesView payload) {
   ByteWriter w(payload.size() + 20);
   w.u8(1);  // BrachaRbc::kSend
@@ -15,9 +13,7 @@ Bytes encode_bracha_send(ProcessId source, Round r, BytesView payload) {
   return std::move(w).take();
 }
 
-/// Produces a structurally valid conflicting vertex: same edges, different
-/// block bytes — the nastiest variant, indistinguishable except by content.
-Bytes mutate_payload(BytesView payload) {
+Bytes mutate_vertex_payload(BytesView payload) {
   auto parsed = dr::dag::Vertex::deserialize(payload);
   if (!parsed) {
     Bytes copy(payload.begin(), payload.end());
@@ -29,19 +25,18 @@ Bytes mutate_payload(BytesView payload) {
   return v.serialize();
 }
 
-}  // namespace
-
-EquivocatingBrachaRbc::EquivocatingBrachaRbc(sim::Network& net, ProcessId pid)
+EquivocatingBrachaRbc::EquivocatingBrachaRbc(net::Bus& net, ProcessId pid)
     : net_(net), pid_(pid), inner_(net, pid) {}
 
 void EquivocatingBrachaRbc::broadcast(Round r, net::Payload payload) {
-  const Bytes variant_b = mutate_payload(payload.view());
+  const Bytes variant_b = mutate_vertex_payload(payload.view());
   // Each variant is encoded once; the per-recipient sends share the buffers.
   const net::Payload send_a(encode_bracha_send(pid_, r, payload.view()));
   const net::Payload send_b(encode_bracha_send(pid_, r, variant_b));
   for (ProcessId to = 0; to < net_.n(); ++to) {
-    net_.send(pid_, to, sim::Channel::kBracha, to % 2 == 0 ? send_a : send_b);
+    net_.send(pid_, to, net::Channel::kBracha, to % 2 == 0 ? send_a : send_b);
   }
+  ++equivocations_;
 }
 
 }  // namespace dr::core

@@ -1,15 +1,30 @@
 // Byzantine behaviour implementations used by the harness, tests, and
 // fault-injection benches. These are attack *strategies* within the model —
 // the protocol must neutralize them, and the test suite checks that it does.
+//
+// Strategies are written against net::Bus, the seam shared by the simulator
+// (sim::Network) and the real-concurrency runtime (node::NodeBus), so the
+// exact same adversarial code runs under the discrete-event scheduler and
+// inside live threaded clusters (node/byzantine.hpp wires it there).
 #pragma once
 
 #include <memory>
 
+#include "net/bus.hpp"
 #include "rbc/bracha.hpp"
 #include "rbc/rbc.hpp"
-#include "sim/network.hpp"
 
 namespace dr::core {
+
+/// Mirrors BrachaRbc's SEND wire format (type | source | round | blob).
+/// Exposed so Byzantine strategies can hand-craft protocol messages the
+/// honest implementation would never produce.
+Bytes encode_bracha_send(ProcessId source, Round r, BytesView payload);
+
+/// Produces a structurally valid conflicting vertex: same edges, different
+/// block bytes — the nastiest equivocation variant, indistinguishable from
+/// the original except by content.
+Bytes mutate_vertex_payload(BytesView payload);
 
 /// An equivocating broadcaster: on broadcast(r, m) it hand-crafts two
 /// conflicting Bracha SEND messages (payload m and a mutated m') and sends
@@ -22,15 +37,21 @@ namespace dr::core {
 /// the same variant (or none) — the equivocation tests assert exactly that.
 class EquivocatingBrachaRbc final : public rbc::ReliableBroadcast {
  public:
-  EquivocatingBrachaRbc(sim::Network& net, ProcessId pid);
+  EquivocatingBrachaRbc(net::Bus& net, ProcessId pid);
 
   void set_deliver(DeliverFn fn) override { inner_.set_deliver(std::move(fn)); }
   void broadcast(Round r, net::Payload payload) override;
 
+  /// Conflicting SEND pairs launched so far (attack-liveness telemetry: a
+  /// test asserting "the adversary was neutralized" must also assert the
+  /// adversary actually acted).
+  std::uint64_t equivocations() const { return equivocations_; }
+
  private:
-  sim::Network& net_;
+  net::Bus& net_;
   ProcessId pid_;
   rbc::BrachaRbc inner_;
+  std::uint64_t equivocations_ = 0;
 };
 
 }  // namespace dr::core

@@ -16,6 +16,38 @@ namespace dr::metrics {
 using Counter = std::pair<std::string, std::uint64_t>;
 using Counters = std::vector<Counter>;
 
+/// Appends `items` to `out` with every name prefixed "<prefix>.". Used to
+/// merge counters from subsystems that expose structurally-compatible pair
+/// vectors without depending on this header (e.g. net::TransportCounters —
+/// chaos fault-injection and TCP link-error counts surface through here).
+template <typename Items>
+inline void append_prefixed(Counters& out, const std::string& prefix,
+                            const Items& items) {
+  for (const auto& [name, value] : items) {
+    out.emplace_back(prefix + "." + name, value);
+  }
+}
+
+/// Sums counters with identical names across per-node snapshots — the
+/// cluster-wide aggregate a soak run reports (and ships in bench --json).
+inline Counters aggregate(const std::vector<Counters>& per_node) {
+  Counters out;
+  for (const Counters& node : per_node) {
+    for (const Counter& c : node) {
+      bool merged = false;
+      for (Counter& o : out) {
+        if (o.first == c.first) {
+          o.second += c.second;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.push_back(c);
+    }
+  }
+  return out;
+}
+
 /// Renders counters as a two-column table for bench/example output.
 inline Table counters_table(const Counters& counters) {
   Table t({"counter", "value"});

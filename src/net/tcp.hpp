@@ -64,6 +64,11 @@ class TcpTransport final : public Transport {
     return protocol_errors_.load(std::memory_order_relaxed);
   }
 
+  TransportCounters counters() const override {
+    return {{"tcp.protocol_errors", protocol_errors()},
+            {"tcp.backpressure_overflows", backpressure_overflows()}};
+  }
+
  private:
   /// One frame awaiting a link's socket: the per-link 12-byte header plus a
   /// refcounted reference to the payload buffer shared with every other link

@@ -8,11 +8,21 @@
 // routes everything through a net::Inbox) rather than process in place.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "net/frame.hpp"
 
 namespace dr::net {
+
+/// Flat named-counter snapshot a transport exposes for introspection.
+/// Structurally identical to metrics::Counters (net/ cannot depend on
+/// metrics/); node::Node::counters() merges these under a "transport."
+/// prefix so soak runs are auditable from bench/CI artifacts.
+using TransportCounters = std::vector<std::pair<std::string, std::uint64_t>>;
 
 class Transport {
  public:
@@ -41,6 +51,10 @@ class Transport {
   /// Sends that overstayed a full send queue's grace period (forced through
   /// rather than deadlocking; nonzero means the cluster is overdriven).
   virtual std::uint64_t backpressure_overflows() const { return 0; }
+
+  /// Implementation-specific counters (chaos fault injection, TCP protocol
+  /// errors, ...). Decorators append their own to the wrapped transport's.
+  virtual TransportCounters counters() const { return {}; }
 };
 
 }  // namespace dr::net

@@ -1,0 +1,56 @@
+// Live Byzantine node profiles (DESIGN.md §12): the simulator's adversarial
+// strategies ported to the real-concurrency runtime. A profile replaces the
+// node's reliable-broadcast component with an attacking implementation that
+// still runs on the ordinary node event loop over real links — so the
+// adversary experiences the same concurrency, backpressure, and chaos
+// faults as everyone else, and the survivors must neutralize it live.
+//
+// Profiles (all strongest-form: honest participation except for the attack):
+//   kEquivocate — conflicting vertex variants to each half of the committee
+//                 (core::EquivocatingBrachaRbc over the node's NodeBus);
+//   kMute       — withholds every own broadcast (a "crashed proposer" that
+//                 still echoes/readies others' traffic, keeping quorums warm
+//                 while contributing no chain quality);
+//   kSelective  — sends its SEND only to a 2f+1 window anchored at itself,
+//                 starving a rotating f-sized blind set of first-hand copies
+//                 (Bracha echo amplification must route around it).
+//
+// The crafted-SEND profiles (equivocate, selective) speak BrachaRbc's wire
+// format and therefore require rbc_kind == kBracha; node::Node asserts this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/byzantine.hpp"
+#include "net/bus.hpp"
+#include "rbc/rbc.hpp"
+
+namespace dr::node {
+
+enum class ByzantineProfile : std::uint8_t {
+  kHonest = 0,
+  kEquivocate,
+  kMute,
+  kSelective,
+};
+
+const char* to_string(ByzantineProfile p);
+
+/// Attacking RBC wrapper: like any ReliableBroadcast, plus telemetry so
+/// tests can assert the adversary actually attacked (a Byzantine test whose
+/// adversary silently behaved is vacuous).
+class ByzantineRbc : public rbc::ReliableBroadcast {
+ public:
+  virtual std::uint64_t attacks() const = 0;
+};
+
+/// Builds the attacking wrapper for `profile` (never kHonest). `inner` is
+/// the honestly-constructed component; kMute wraps it, the crafted-SEND
+/// profiles discard it and construct their own Bracha instance (re-
+/// subscribing on the bus replaces the handlers, so the discard is safe).
+std::unique_ptr<ByzantineRbc> make_byzantine_rbc(
+    ByzantineProfile profile, net::Bus& bus, ProcessId pid,
+    std::unique_ptr<rbc::ReliableBroadcast> inner);
+
+}  // namespace dr::node

@@ -5,16 +5,19 @@
 
 namespace dr::node {
 
-Cluster::Cluster(Committee committee, NodeOptions opts)
+Cluster::Cluster(Committee committee, NodeOptions opts, ClusterTweaks tweaks)
     : committee_(committee),
       opts_(std::move(opts)),
+      tweaks_(std::move(tweaks)),
       dealer_(opts_.seed ^ coin::kDealerSeedTweak, committee),
       net_(committee) {
   DR_ASSERT_MSG(committee_.valid(), "Cluster: committee must satisfy n > 3f");
+  DR_ASSERT_MSG(tweaks_.profiles.empty() ||
+                    tweaks_.profiles.size() == committee_.n,
+                "ClusterTweaks::profiles must cover every node or none");
   nodes_.reserve(committee_.n);
   for (ProcessId pid = 0; pid < committee_.n; ++pid) {
-    nodes_.push_back(
-        std::make_unique<Node>(net_.endpoint(pid), &dealer_, node_opts(pid)));
+    nodes_.push_back(build_node(pid));
   }
 }
 
@@ -23,7 +26,17 @@ NodeOptions Cluster::node_opts(ProcessId pid) const {
   if (!o.wal_dir.empty()) {
     o.wal_dir += "/node-" + std::to_string(pid);
   }
+  if (!tweaks_.profiles.empty()) o.byzantine = tweaks_.profiles[pid];
   return o;
+}
+
+std::unique_ptr<Node> Cluster::build_node(ProcessId pid) {
+  std::unique_ptr<net::Transport> transport = net_.endpoint(pid);
+  if (tweaks_.transport_wrap) {
+    transport = tweaks_.transport_wrap(pid, std::move(transport));
+    DR_ASSERT_MSG(transport != nullptr, "transport_wrap returned null");
+  }
+  return std::make_unique<Node>(std::move(transport), &dealer_, node_opts(pid));
 }
 
 Cluster::~Cluster() { stop(); }
@@ -55,8 +68,7 @@ void Cluster::restart_node(ProcessId pid) {
                 "restart_node only on a running cluster");
   nodes_[pid]->stop();  // idempotent if stop_node already ran
   nodes_[pid].reset();  // old endpoint destroyed before the slot is re-bound
-  nodes_[pid] =
-      std::make_unique<Node>(net_.endpoint(pid), &dealer_, node_opts(pid));
+  nodes_[pid] = build_node(pid);
   nodes_[pid]->start();
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -16,9 +17,22 @@
 
 namespace dr::node {
 
+/// Per-cluster deviations from the uniform NodeOptions: the chaos/Byzantine
+/// knobs (DESIGN.md §12). transport_wrap decorates every node's endpoint
+/// (e.g. with a net::ChaosTransport) — it is re-applied on restart_node, so
+/// a rejoining node re-enters the same fault environment it crashed out of.
+/// profiles[pid] overrides opts.byzantine for that node only.
+struct ClusterTweaks {
+  using TransportWrap = std::function<std::unique_ptr<net::Transport>(
+      ProcessId pid, std::unique_ptr<net::Transport> inner)>;
+  TransportWrap transport_wrap;
+  std::vector<ByzantineProfile> profiles;  ///< empty = all honest
+};
+
 class Cluster {
  public:
-  explicit Cluster(Committee committee, NodeOptions opts = {});
+  explicit Cluster(Committee committee, NodeOptions opts = {},
+                   ClusterTweaks tweaks = {});
   ~Cluster();
 
   void start();
@@ -52,11 +66,14 @@ class Cluster {
 
  private:
   /// Per-node options: opts_.wal_dir (when set) is treated as a base
-  /// directory and becomes <base>/node-<pid> for each node.
+  /// directory and becomes <base>/node-<pid> for each node; tweaks_.profiles
+  /// (when set) overrides the Byzantine profile per node.
   NodeOptions node_opts(ProcessId pid) const;
+  std::unique_ptr<Node> build_node(ProcessId pid);
 
   Committee committee_;
   NodeOptions opts_;
+  ClusterTweaks tweaks_;
   coin::CoinDealer dealer_;
   net::InProcNetwork net_;
   std::vector<std::unique_ptr<Node>> nodes_;

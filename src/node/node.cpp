@@ -15,6 +15,15 @@ Node::Node(std::unique_ptr<net::Transport> transport,
   const ProcessId my_pid = transport_->pid();
 
   rbc_ = rbc::make_factory(opts_.rbc_kind)(bus_, my_pid, opts_.seed);
+  if (opts_.byzantine != ByzantineProfile::kHonest) {
+    DR_ASSERT_MSG(opts_.byzantine == ByzantineProfile::kMute ||
+                      opts_.rbc_kind == rbc::RbcKind::kBracha,
+                  "crafted-SEND Byzantine profiles speak Bracha's wire format");
+    auto byz = make_byzantine_rbc(opts_.byzantine, bus_, my_pid,
+                                  std::move(rbc_));
+    byz_ = byz.get();
+    rbc_ = std::move(byz);
+  }
 
   coin::ThresholdCoin* threshold_coin = nullptr;
   switch (opts_.coin_mode) {
@@ -292,6 +301,15 @@ metrics::Counters Node::counters() const {
     out.emplace_back("store.recovered_truncated_bytes",
                      s.recovered_truncated_bytes);
     out.emplace_back("store.snapshot_loaded", s.snapshot_loaded ? 1 : 0);
+  }
+  // Transport-side introspection: backpressure plus whatever the concrete
+  // transport (or a chaos decorator around it) exposes, so fault-injection
+  // soaks are auditable from the same flat snapshot as everything else.
+  out.emplace_back("transport.backpressure_overflows",
+                   transport_->backpressure_overflows());
+  metrics::append_prefixed(out, "transport", transport_->counters());
+  if (byz_ != nullptr) {
+    out.emplace_back("byzantine.attacks", byz_->attacks());
   }
   return out;
 }

@@ -29,6 +29,7 @@
 #include "net/bus.hpp"
 #include "net/inbox.hpp"
 #include "net/transport.hpp"
+#include "node/byzantine.hpp"
 #include "node/catchup.hpp"
 #include "rbc/factory.hpp"
 #include "storage/store.hpp"
@@ -62,6 +63,10 @@ struct NodeOptions {
   bool wal_fsync = false;
   /// Peer catch-up sync over Channel::kSync.
   CatchupOptions catchup{};
+  /// Live adversarial profile (DESIGN.md §12): kHonest runs the protocol
+  /// faithfully; any other value replaces the RBC with an attacking wrapper
+  /// (node/byzantine.hpp). The crafted-SEND profiles require kBracha.
+  ByzantineProfile byzantine = ByzantineProfile::kHonest;
   Round gc_depth_rounds = 0;
   /// Laggard-aware GC holdback: a peer heard from within this window pins
   /// the GC floor cap to just below its highest delivered round, keeping the
@@ -211,6 +216,7 @@ class Node {
   NodeBus bus_;
 
   std::unique_ptr<rbc::ReliableBroadcast> rbc_;
+  ByzantineRbc* byz_ = nullptr;  ///< rbc_ downview when opts_.byzantine is set
   std::unique_ptr<coin::Coin> coin_;
   std::unique_ptr<dag::DagBuilder> builder_;
   std::unique_ptr<core::DagRider> rider_;

@@ -60,6 +60,15 @@ Rules (each suppressible per line with `// daglint: allow(<rule>)`):
                     hashes non-payload protocol transcripts, the second
                     exists only for backend cross-checks.
 
+  chaos-seeded      In chaos/soak sources (any path component containing
+                    "chaos" or "soak"), every RNG construction
+                    (Xoshiro256, SplitMix64) must take an argument that
+                    references a seed identifier. The chaos harness's
+                    whole value is the seed-replay contract — a violating
+                    run reproduces bit-identically from its printed seed
+                    (DESIGN.md §12); one ad-hoc-seeded engine silently
+                    voids that for every suite built on top.
+
 Usage:
   daglint.py [--rules r1,r2] [--list-rules] PATH...
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -208,6 +217,13 @@ FILE_IO_PATTERNS = [
 # helpers (sha256_tagged, sha256_portable, sha256_backend) from matching.
 SHA256_CALL = re.compile(r"(?<![\w:])(?:crypto\s*::\s*)?sha256\s*\(")
 
+# RNG construction in chaos/soak code: `Xoshiro256 rng(...)`, `SplitMix64
+# h(...)`, or a temporary `SplitMix64(...)`. References and bare member
+# declarations (no constructor argument list) don't hit.
+CHAOS_RNG_CTOR = re.compile(r"\b(?:Xoshiro256|SplitMix64)\b(?:\s+\w+)?\s*[({]")
+CHAOS_SEED_REF = re.compile(r"seed", re.IGNORECASE)
+CHAOS_MARKERS = ("chaos", "soak")
+
 PROTOCOL_DIRS = ("core", "dag", "rbc", "coin")
 CONCURRENCY_DIRS = ("net", "node")
 STORAGE_DIRS = ("storage",)
@@ -251,6 +267,9 @@ def check_file(path: Path, text: str, rules) -> list[Finding]:
             findings.append(Finding(path, lineno, rule, message))
 
     is_types_hpp = rel(path).endswith("common/types.hpp")
+    is_chaos_code = any(
+        marker in part
+        for part in rel(path).lower().split("/") for marker in CHAOS_MARKERS)
     in_protocol = in_dirs(path, PROTOCOL_DIRS)
     in_concurrency = in_dirs(path, CONCURRENCY_DIRS)
     in_storage = in_dirs(path, STORAGE_DIRS)
@@ -292,6 +311,14 @@ def check_file(path: Path, text: str, rules) -> list[Finding]:
                    "boundary; consume the memoized net::Payload::digest() "
                    "(single-hash discipline, DESIGN.md §11) or add this file "
                    "to tools/daglint/sha256_allowlist.txt")
+        if is_chaos_code:
+            m = CHAOS_RNG_CTOR.search(line)
+            if m and not CHAOS_SEED_REF.search(line[m.end():]):
+                report(idx, "chaos-seeded",
+                       "RNG constructed in chaos/soak code without a seed "
+                       "argument; every fault decision must be a pure "
+                       "function of the plan seed or the run would stop "
+                       "replaying (seed-replay contract, DESIGN.md §12)")
         if (NODISCARD_NAMES.search(line) and NODISCARD_RET.search(line) and
                 not NODISCARD_QUALIFIED_DEF.search(line)):
             has_attr = NODISCARD_ATTR in line or (
@@ -313,6 +340,7 @@ ALL_RULES = (
     "nodiscard-decode",
     "file-io",
     "payload-hash",
+    "chaos-seeded",
 )
 
 

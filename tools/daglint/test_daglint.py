@@ -259,6 +259,45 @@ class PayloadHash(unittest.TestCase):
         self.assertEqual(rules_of(findings), set())
 
 
+class ChaosSeeded(unittest.TestCase):
+    def test_literal_seeded_rng_in_chaos_file_flagged(self):
+        findings = lint_snippet(
+            "src/net/chaos_extra.cpp",
+            "Xoshiro256 rng(42);\n")
+        self.assertIn("chaos-seeded", rules_of(findings))
+
+    def test_state_seeded_temporary_in_soak_file_flagged(self):
+        findings = lint_snippet(
+            "src/node/soak_util.cpp",
+            "const double u = unit(SplitMix64(counter_++));\n")
+        self.assertIn("chaos-seeded", rules_of(findings))
+
+    def test_seed_derived_rng_clean(self):
+        findings = lint_snippet(
+            "src/net/chaos.cpp",
+            "Xoshiro256 rng(seed ^ 0xC0A05EEDULL);\n"
+            "SplitMix64 h(opts.seed ^ kSoakSeedTweak);\n")
+        self.assertEqual(rules_of(findings), set())
+
+    def test_member_declaration_without_ctor_clean(self):
+        findings = lint_snippet(
+            "src/net/chaos.hpp",
+            "class X {\n  SplitMix64 rng_;\n  void f(SplitMix64& h);\n};\n")
+        self.assertEqual(rules_of(findings), set())
+
+    def test_non_chaos_file_out_of_scope(self):
+        findings = lint_snippet(
+            "src/sim/delay.cpp",
+            "Xoshiro256 rng(42);\n")
+        self.assertNotIn("chaos-seeded", rules_of(findings))
+
+    def test_allow_comment_suppresses(self):
+        findings = lint_snippet(
+            "src/net/chaos_fixture.cpp",
+            "Xoshiro256 rng(7);  // daglint: allow(chaos-seeded)\n")
+        self.assertEqual(rules_of(findings), set())
+
+
 class StripComments(unittest.TestCase):
     def test_line_numbers_preserved(self):
         text = "int a;\n/* two\nline comment */\nstd::mutex bad;\n"
