@@ -25,6 +25,7 @@
 
 #include "bench_util.hpp"
 #include "core/audit.hpp"
+#include "ingress/loadgen.hpp"
 #include "metrics/counters.hpp"
 #include "net/chaos.hpp"
 #include "node/cluster.hpp"
@@ -288,11 +289,100 @@ void sweep_chaos() {
   emit(faults);
 }
 
+// --ingress: an n=4 cluster with TCP node-to-node links and the client
+// ingress tier enabled. The open-loop loadgen multiplexes the logical client
+// population over real connections against all four tx-submission endpoints,
+// Zipf-skewed, with mid-run connection churn. Reports client-observed
+// end-to-end throughput and p50/p99 commit-ack latency, plus the ingress /
+// mempool counter families.
+void sweep_ingress() {
+  const std::uint64_t clients = smoke() ? 2'000 : 10'000;
+  const double rate_tps = smoke() ? 20'000.0 : 120'000.0;
+  const std::uint64_t duration_ms = smoke() ? 3'000 : 10'000;
+
+  node::NodeOptions opts;
+  opts.seed = 1234;
+  opts.wal_dir = wal_base("rt-ingress");
+  opts.ingress_enable = true;
+  node::ClusterTweaks tweaks;
+  tweaks.tcp_transport = true;
+  node::Cluster cluster(Committee::for_n(4), opts, std::move(tweaks));
+  cluster.start();
+
+  ingress::LoadGenOptions lg;
+  lg.clients = clients;
+  lg.connections = 64;
+  for (ProcessId pid = 0; pid < 4; ++pid) {
+    lg.targets.push_back(
+        ingress::LoadGenTarget{"127.0.0.1", cluster.ingress_port(pid)});
+  }
+  lg.duration_ms = duration_ms;
+  lg.rate_tps = rate_tps;
+  lg.payload_bytes = 32;
+  lg.churn_period_ms = 500;
+  lg.seed = 42;
+  ingress::LoadGen gen(lg);
+  gen.start();
+  const ingress::LoadGenReport r = gen.wait_and_report();
+  cluster.stop();
+
+  const auto violation =
+      core::audit_logs(cluster.delivered_logs(), cluster.commit_logs());
+  if (violation.has_value()) {
+    std::fprintf(stderr, "RT INGRESS AUDIT FAILURE: %s\n", violation->c_str());
+    return;
+  }
+
+  const double secs =
+      static_cast<double>(r.elapsed_ms ? r.elapsed_ms : 1) / 1000.0;
+  metrics::Table t({"metric", "value"});
+  t.add_row({"clients", metrics::Table::fmt_u64(clients)});
+  t.add_row({"submitted", metrics::Table::fmt_u64(r.submitted)});
+  t.add_row({"accepted", metrics::Table::fmt_u64(r.accepted)});
+  t.add_row({"acked", metrics::Table::fmt_u64(r.acked)});
+  t.add_row({"acked txs/s",
+             metrics::Table::fmt(static_cast<double>(r.acked) / secs, 0)});
+  t.add_row({"ack p50 ms",
+             metrics::Table::fmt(r.ack_latency_ms.percentile(0.50), 2)});
+  t.add_row({"ack p99 ms",
+             metrics::Table::fmt(r.ack_latency_ms.percentile(0.99), 2)});
+  t.add_row({"busy rejects", metrics::Table::fmt_u64(r.busy)});
+  t.add_row({"dup pending", metrics::Table::fmt_u64(r.dup_pending)});
+  t.add_row({"dup committed", metrics::Table::fmt_u64(r.dup_committed)});
+  t.add_row({"resubmitted", metrics::Table::fmt_u64(r.resubmitted)});
+  t.add_row({"churn events", metrics::Table::fmt_u64(r.churn_events)});
+  t.add_row(
+      {"local backpressure", metrics::Table::fmt_u64(r.local_backpressure)});
+  t.add_row(
+      {"outstanding at end", metrics::Table::fmt_u64(r.outstanding_at_end)});
+  emit(t);
+
+  std::vector<metrics::Counters> per_node;
+  for (ProcessId pid = 0; pid < 4; ++pid) {
+    per_node.push_back(cluster.node(pid).counters());
+  }
+  metrics::Table ic({"counter", "value"});
+  for (const auto& [name, value] : metrics::aggregate(per_node)) {
+    if (name.rfind("ingress.", 0) == 0 || name.rfind("mempool.", 0) == 0) {
+      ic.add_row({name, metrics::Table::fmt_u64(value)});
+    }
+  }
+  emit(ic);
+}
+
 }  // namespace
 }  // namespace dr::bench
 
 int main(int argc, char** argv) {
   dr::bench::bench_init(argc, argv);
+  if (dr::bench::ingress_mode()) {
+    dr::bench::print_header(
+        "RT-INGRESS",
+        "client ingress tier: open-loop loadgen over TCP, commit-ack latency");
+    dr::bench::sweep_ingress();
+    dr::bench::bench_finish();
+    return 0;
+  }
   if (dr::bench::chaos_mode()) {
     dr::bench::print_header(
         "RT-CHAOS",

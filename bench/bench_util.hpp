@@ -30,6 +30,10 @@ inline const std::vector<std::uint32_t> kSweepN = {4, 7, 10, 13, 16};
 ///                   under ChaosPlan::randomized(seed) and report throughput
 ///                   under faults plus the injected-fault counter table
 ///                   (bench_realtime_throughput; default seed 1)
+///   --ingress       client-ingress mode: drive an n=4 TCP cluster through
+///                   the tx-submission front end with the open-loop loadgen
+///                   and report throughput plus p50/p99 commit-ack latency
+///                   (bench_realtime_throughput)
 struct BenchArgs {
   std::string json_path;
   std::string wal_dir;
@@ -37,6 +41,7 @@ struct BenchArgs {
   bool smoke = false;
   bool chaos = false;
   std::uint64_t chaos_seed = 1;
+  bool ingress = false;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -56,6 +61,8 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         out.chaos_seed = std::strtoull(argv[++i], nullptr, 10);
       }
+    } else if (a == "--ingress") {
+      out.ingress = true;
     }
   }
   return out;
@@ -77,6 +84,7 @@ class BenchIo {
   bool restart() const { return args_.restart; }
   bool chaos() const { return args_.chaos; }
   std::uint64_t chaos_seed() const { return args_.chaos_seed; }
+  bool ingress() const { return args_.ingress; }
   void section(std::string id) { section_ = std::move(id); }
 
   void emit(const metrics::Table& t) {
@@ -143,6 +151,7 @@ inline const std::string& bench_wal_dir() {
 inline bool restart_mode() { return BenchIo::instance().restart(); }
 inline bool chaos_mode() { return BenchIo::instance().chaos(); }
 inline std::uint64_t chaos_seed() { return BenchIo::instance().chaos_seed(); }
+inline bool ingress_mode() { return BenchIo::instance().ingress(); }
 inline void emit(const metrics::Table& t) { BenchIo::instance().emit(t); }
 
 /// kSweepN, trimmed in smoke mode.

@@ -9,6 +9,8 @@
 //   chaos_soak --seed 17 [--n 7]   # replay exactly one seeded run
 //   chaos_soak --seeds 40          # wider sweep
 //   chaos_soak --wal <dir>         # enable durability + crash-churn soaks
+//   chaos_soak --ingress           # client traffic through the TCP ingress
+//                                  # tier (with churning clients) every run
 //
 // Exit status: 0 when every run progressed and passed the auditors; 1 on
 // the first violation or stall.
@@ -28,6 +30,7 @@ struct Args {
   std::uint32_t n = 0;           // != 0: restrict the sweep to one size
   std::string wal_dir;
   bool smoke = false;
+  bool ingress = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -43,6 +46,8 @@ Args parse(int argc, char** argv) {
       a.wal_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--smoke")) {
       a.smoke = true;
+    } else if (!std::strcmp(argv[i], "--ingress")) {
+      a.ingress = true;
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
       std::exit(2);
@@ -81,6 +86,11 @@ bool run_one(const Args& args, std::uint64_t seed, std::uint32_t n) {
   // A Byzantine node and churn at once would leave only f honest-and-up
   // nodes short of quorum windows; keep the two flavours separate.
   if (opts.with_churn) opts.byzantine = dr::node::ByzantineProfile::kHonest;
+  if (args.ingress) {
+    opts.with_ingress = true;
+    opts.ingress_clients = args.smoke ? 500 : 2'000;
+    opts.ingress_rate_tps = args.smoke ? 500.0 : 2'000.0;
+  }
 
   const dr::node::SoakResult r = dr::node::run_chaos_soak(opts);
   if (r.ok) {
@@ -89,6 +99,16 @@ bool run_one(const Args& args, std::uint64_t seed, std::uint32_t n) {
                 to_string(opts.byzantine),
                 opts.with_churn ? "yes" : "no",
                 r.plan.c_str());
+    if (opts.with_ingress) {
+      std::printf(
+          "     ingress: submitted=%llu acked=%llu resubmitted=%llu "
+          "client_churn=%llu ack_p50=%.1fms ack_p99=%.1fms\n",
+          static_cast<unsigned long long>(r.ingress_submitted),
+          static_cast<unsigned long long>(r.ingress_acked),
+          static_cast<unsigned long long>(r.ingress_resubmitted),
+          static_cast<unsigned long long>(r.ingress_churn_events),
+          r.ingress_ack_p50_ms, r.ingress_ack_p99_ms);
+    }
     return true;
   }
   std::fprintf(stderr, "FAIL %s\n", r.describe().c_str());

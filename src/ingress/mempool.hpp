@@ -1,0 +1,172 @@
+// Digest-partitioned mempool behind the client ingress tier (DESIGN.md §13).
+// Replaces the single-lock txpool::Mempool stub on the node's hot path: the
+// ingress I/O thread and any number of client threads submit concurrently,
+// the node thread drains blocks, and contention stays per-shard.
+//
+// Identity is the tx digest — sha256 over (id, payload), excluding the
+// server-stamped submit_time so a client resubmitting the same logical tx
+// (e.g. after a reconnect) maps to the same digest on every node. Each
+// digest lives in exactly one shard for its whole life cycle:
+//   pending (FIFO, waiting for a block) -> in-flight (drained into a
+//   proposal, awaiting a_deliver) -> recently-committed (bounded dedup
+//   window so replays after commit don't double-enter the DAG).
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "ingress/wire.hpp"
+#include "txpool/transaction.hpp"
+
+namespace dr::ingress {
+
+/// Content address of one transaction: sha256(le64(id) || payload). Stable
+/// across resubmission (submit_time is server-stamped and excluded) and
+/// recomputable from a decoded block at every node, which is what lets
+/// deliver-side dedup and ack routing key on it.
+crypto::Digest tx_digest(const txpool::Transaction& tx);
+
+/// Where a transaction came from, kept while it is pending/in-flight so the
+/// commit ack can be routed back to the owning session. session_id 0 means
+/// "no session" (internal submission paths); submit_us is on the ingress
+/// server's clock.
+struct TxOrigin {
+  std::uint64_t session_id = 0;
+  std::uint64_t client_id = 0;
+  std::uint64_t tx_id = 0;
+  std::uint64_t submit_us = 0;
+};
+
+struct MempoolOptions {
+  std::uint32_t shards = 8;
+  /// Hard per-shard bound on pending txs; beyond it submit() returns
+  /// kShardFull (backpressure, not silent drops).
+  std::size_t shard_capacity = 16'384;
+  /// Total recently-committed digests remembered for post-commit dedup,
+  /// split evenly across shards. Bounded: commits beyond the window are
+  /// forgotten and a very late replay would be re-accepted (DESIGN.md §13).
+  std::size_t committed_window = 1 << 16;
+  /// Fraction of total pending capacity above which admission turns kBusy —
+  /// the explicit "DagBuilder is behind" signal, softer than kShardFull.
+  double busy_watermark = 0.75;
+  std::size_t max_tx_bytes = kMaxTxBytes;
+};
+
+/// Monotonic counters, snapshot via stats().
+struct MempoolStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_busy = 0;
+  std::uint64_t rejected_dup_pending = 0;
+  std::uint64_t rejected_dup_committed = 0;
+  std::uint64_t rejected_overflow = 0;
+  std::uint64_t rejected_too_large = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t committed_with_origin = 0;  ///< commits that owned a session
+  std::uint64_t committed_foreign = 0;      ///< committed via another node
+  std::uint64_t window_evictions = 0;
+};
+
+class ShardedMempool {
+ public:
+  explicit ShardedMempool(MempoolOptions opts = {});
+
+  ShardedMempool(const ShardedMempool&) = delete;
+  ShardedMempool& operator=(const ShardedMempool&) = delete;
+
+  /// Full admission pipeline: size gate, committed-window dedup,
+  /// pending/in-flight dedup, busy watermark, shard capacity. On
+  /// kDuplicatePending from the *same* (client_id, tx_id) — a reconnecting
+  /// client resubmitting — the stored origin's session is re-homed to the
+  /// new session so the eventual ack follows the client.
+  SubmitStatus submit(txpool::Transaction tx, TxOrigin origin);
+
+  /// Drains up to max_txs pending transactions round-robin across shards
+  /// (node thread). Drained txs move to the in-flight set: still deduped,
+  /// no longer proposable, origins retained for ack routing.
+  std::vector<txpool::Transaction> drain(std::size_t max_txs);
+
+  /// Marks one delivered tx digest committed (node thread, a_deliver path):
+  /// drops it from pending/in-flight and records it in the bounded
+  /// recently-committed window. Returns the origin when this node owned the
+  /// submitting session (the ack path), nullopt for foreign or internal txs.
+  std::optional<TxOrigin> mark_committed(const crypto::Digest& digest);
+
+  bool recently_committed(const crypto::Digest& digest) const;
+  /// True while the digest is pending or in-flight.
+  bool knows(const crypto::Digest& digest) const;
+
+  std::size_t pending() const {
+    return pending_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t in_flight() const {
+    return in_flight_count_.load(std::memory_order_relaxed);
+  }
+  /// The admission signal: pending load at/above the busy watermark.
+  bool busy() const {
+    return pending() >= busy_threshold_;
+  }
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  std::uint32_t shard_of(const crypto::Digest& digest) const;
+
+  MempoolStats stats() const;
+  const MempoolOptions& options() const { return opts_; }
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const crypto::Digest& d) const {
+      // The digest is already uniform; its first 8 bytes are the hash.
+      std::uint64_t h = 0;
+      std::memcpy(&h, d.data(), sizeof(h));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct PendingTx {
+    txpool::Transaction tx;
+    TxOrigin origin;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// FIFO of pending digests; entries whose digest left `pending` (e.g.
+    /// committed via a foreign block first) are skipped lazily on drain.
+    std::deque<crypto::Digest> fifo;
+    std::unordered_map<crypto::Digest, PendingTx, DigestHash> pending;
+    std::unordered_map<crypto::Digest, TxOrigin, DigestHash> in_flight;
+    std::unordered_set<crypto::Digest, DigestHash> committed;
+    std::deque<crypto::Digest> committed_ring;  ///< eviction order
+  };
+
+  MempoolOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t committed_per_shard_;
+  std::size_t busy_threshold_;
+
+  std::atomic<std::size_t> pending_count_{0};
+  std::atomic<std::size_t> in_flight_count_{0};
+  std::atomic<std::uint32_t> drain_cursor_{0};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_busy_{0};
+  std::atomic<std::uint64_t> rejected_dup_pending_{0};
+  std::atomic<std::uint64_t> rejected_dup_committed_{0};
+  std::atomic<std::uint64_t> rejected_overflow_{0};
+  std::atomic<std::uint64_t> rejected_too_large_{0};
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<std::uint64_t> committed_with_origin_{0};
+  std::atomic<std::uint64_t> committed_foreign_{0};
+  std::atomic<std::uint64_t> window_evictions_{0};
+};
+
+}  // namespace dr::ingress

@@ -1,0 +1,172 @@
+// The one sanctioned raw-syscall site for src/ingress/ (see sockets.hpp and
+// the daglint ingress-blocking rule). Everything here is nonblocking by
+// construction.
+#include "ingress/sockets.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dr::ingress::sock {
+
+namespace {
+
+bool make_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+}  // namespace
+
+int listen_nonblocking(const std::string& host, std::uint16_t port,
+                       int backlog) {
+  sockaddr_in addr{};
+  if (!make_addr(host, port, addr)) return -1;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int accept_nonblocking(int listen_fd) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+int connect_nonblocking(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  if (!make_addr(host, port, addr)) return -1;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  for (;;) {
+    const int rc =
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0) return fd;
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) return fd;  // completes under poll(POLLOUT)
+    ::close(fd);
+    return -1;
+  }
+}
+
+bool connect_finished(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return false;
+  return err == 0;
+}
+
+Io recv_some(int fd, std::uint8_t* buf, std::size_t len, std::size_t& got) {
+  got = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, MSG_DONTWAIT);
+    if (n > 0) {
+      got = static_cast<std::size_t>(n);
+      return Io::kProgress;
+    }
+    if (n == 0) return Io::kClosed;  // orderly EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Io::kWouldBlock;
+    return Io::kClosed;
+  }
+}
+
+Io send_some(int fd, const std::uint8_t* data, std::size_t len,
+             std::size_t& sent) {
+  sent = 0;
+  for (;;) {
+    const ssize_t n = ::send(fd, data, len, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent = static_cast<std::size_t>(n);
+      return Io::kProgress;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Io::kWouldBlock;
+    return Io::kClosed;
+  }
+}
+
+int poll_fds(pollfd* fds, std::size_t count, int timeout_ms) {
+  for (;;) {
+    const int rc = ::poll(fds, static_cast<nfds_t>(count), timeout_ms);
+    if (rc >= 0) return rc;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+bool WakePipe::open_pipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) return false;
+  rd = fds[0];
+  wr = fds[1];
+  return true;
+}
+
+void WakePipe::signal() const {
+  if (wr < 0) return;
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] const ssize_t n = ::write(wr, &byte, 1);
+}
+
+void WakePipe::drain() const {
+  if (rd < 0) return;
+  std::uint8_t buf[64];
+  while (::read(rd, buf, sizeof(buf)) > 0) {
+  }
+}
+
+void WakePipe::close_pipe() {
+  if (rd >= 0) ::close(rd);
+  if (wr >= 0) ::close(wr);
+  rd = -1;
+  wr = -1;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void shutdown_fd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace dr::ingress::sock

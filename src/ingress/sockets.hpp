@@ -1,0 +1,65 @@
+// Nonblocking socket helpers for the ingress tier. This file pair is the
+// single sanctioned home for raw socket syscalls under src/ingress/ (the
+// daglint ingress-blocking rule exempts ingress/sockets.cpp and nothing
+// else): every descriptor produced here is O_NONBLOCK, every I/O call is
+// MSG_DONTWAIT, so no caller can accidentally park an event-loop thread in
+// the kernel behind a slow client.
+#pragma once
+
+#include <poll.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dr::ingress::sock {
+
+/// Result of a nonblocking read/write step.
+enum class Io : int {
+  kProgress = 0,    ///< some bytes moved (see the out-param for how many)
+  kWouldBlock = 1,  ///< no buffer space / no data right now; poll and retry
+  kClosed = 2,      ///< EOF or a hard error; tear the session down
+};
+
+/// Bound + listening nonblocking socket on host:port (numeric IPv4;
+/// port 0 = kernel-assigned, read back via local_port). -1 on failure.
+int listen_nonblocking(const std::string& host, std::uint16_t port,
+                       int backlog);
+std::uint16_t local_port(int fd);
+
+/// One accept4(SOCK_NONBLOCK) step; -1 when no connection is pending (or on
+/// error — callers treat both as "nothing to do this round").
+int accept_nonblocking(int listen_fd);
+
+/// Starts a nonblocking connect; the socket is usually mid-handshake
+/// (EINPROGRESS) on return. Poll for POLLOUT then call connect_finished.
+/// -1 on immediate failure.
+int connect_nonblocking(const std::string& host, std::uint16_t port);
+/// After writability: true iff the connect completed without error.
+bool connect_finished(int fd);
+
+Io recv_some(int fd, std::uint8_t* buf, std::size_t len, std::size_t& got);
+Io send_some(int fd, const std::uint8_t* data, std::size_t len,
+             std::size_t& sent);
+
+/// poll(2) wrapper so event loops never touch the raw syscall form the
+/// daglint rules pattern-match on. Returns the number of ready fds (0 on
+/// timeout, -1 on error other than EINTR).
+int poll_fds(pollfd* fds, std::size_t count, int timeout_ms);
+
+/// Self-pipe wakeup: lets another thread (the node thread queueing commit
+/// acks) interrupt a poll() without signals or busy-waiting.
+struct WakePipe {
+  int rd = -1;
+  int wr = -1;
+  bool open_pipe();   ///< O_NONBLOCK | O_CLOEXEC both ends
+  void signal() const;
+  void drain() const;
+  void close_pipe();
+};
+
+void set_nodelay(int fd);
+void shutdown_fd(int fd);
+void close_fd(int fd);
+
+}  // namespace dr::ingress::sock

@@ -25,8 +25,13 @@ enum class Channel : std::uint32_t {
   /// between a lagging node and its peers. Off the critical path — losing or
   /// reordering sync frames only delays catch-up, never safety.
   kSync = 10,
+  /// Client ingress tier (DESIGN.md §13): SubmitBatch / SubmitReply /
+  /// CommitAcks between external clients and a node's tx-submission front
+  /// end. Never appears on node-to-node links; the ingress server speaks it
+  /// over its own client sessions.
+  kIngress = 11,
 };
-inline constexpr std::uint32_t kChannelCount = 11;
+inline constexpr std::uint32_t kChannelCount = 12;
 
 /// True iff `raw` is a defined channel id (wire-input validation).
 inline constexpr bool channel_valid(std::uint32_t raw) {

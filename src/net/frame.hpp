@@ -31,10 +31,11 @@ struct Frame {
 };
 
 inline constexpr std::uint32_t kWireMagic = 0x52474144;  // "DAGR" LE
-/// v2 added Channel::kSync and the VertexRequest/VertexResponse codec; a v1
-/// peer would reject kSync frames as an unknown channel, so the handshake
-/// refuses to mix versions rather than degrade silently.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// v2 added Channel::kSync and the VertexRequest/VertexResponse codec; v3
+/// added Channel::kIngress (client tx-submission sessions, DESIGN.md §13).
+/// A peer one version behind would reject the new channel as unknown, so
+/// the handshake refuses to mix versions rather than degrade silently.
+inline constexpr std::uint16_t kWireVersion = 3;
 
 /// Upper bound on one frame's payload. A peer could otherwise make the
 /// receiver allocate gigabytes with 4 cheap bytes of length prefix.

@@ -15,6 +15,14 @@ Cluster::Cluster(Committee committee, NodeOptions opts, ClusterTweaks tweaks)
   DR_ASSERT_MSG(tweaks_.profiles.empty() ||
                     tweaks_.profiles.size() == committee_.n,
                 "ClusterTweaks::profiles must cover every node or none");
+  if (tweaks_.tcp_transport) {
+    for (std::uint16_t port : net::pick_free_ports(committee_.n)) {
+      tcp_peers_.push_back(net::TcpPeer{"127.0.0.1", port});
+    }
+  }
+  if (opts_.ingress_enable) {
+    ingress_ports_ = net::pick_free_ports(committee_.n);
+  }
   nodes_.reserve(committee_.n);
   for (ProcessId pid = 0; pid < committee_.n; ++pid) {
     nodes_.push_back(build_node(pid));
@@ -27,11 +35,18 @@ NodeOptions Cluster::node_opts(ProcessId pid) const {
     o.wal_dir += "/node-" + std::to_string(pid);
   }
   if (!tweaks_.profiles.empty()) o.byzantine = tweaks_.profiles[pid];
+  if (o.ingress_enable) o.ingress.port = ingress_ports_[pid];
   return o;
 }
 
 std::unique_ptr<Node> Cluster::build_node(ProcessId pid) {
-  std::unique_ptr<net::Transport> transport = net_.endpoint(pid);
+  std::unique_ptr<net::Transport> transport;
+  if (tweaks_.tcp_transport) {
+    transport =
+        std::make_unique<net::TcpTransport>(committee_, pid, tcp_peers_);
+  } else {
+    transport = net_.endpoint(pid);
+  }
   if (tweaks_.transport_wrap) {
     transport = tweaks_.transport_wrap(pid, std::move(transport));
     DR_ASSERT_MSG(transport != nullptr, "transport_wrap returned null");

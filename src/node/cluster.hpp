@@ -13,6 +13,7 @@
 
 #include "coin/dealer.hpp"
 #include "net/inproc.hpp"
+#include "net/tcp.hpp"
 #include "node/node.hpp"
 
 namespace dr::node {
@@ -27,6 +28,10 @@ struct ClusterTweaks {
       ProcessId pid, std::unique_ptr<net::Transport> inner)>;
   TransportWrap transport_wrap;
   std::vector<ByzantineProfile> profiles;  ///< empty = all honest
+  /// Node-to-node links over loopback TCP (net::TcpTransport) instead of the
+  /// shared-memory transport — the configuration the ingress bench drives so
+  /// client traffic and protocol traffic share a real network stack.
+  bool tcp_transport = false;
 };
 
 class Cluster {
@@ -56,6 +61,14 @@ class Cluster {
   Node& node(ProcessId pid) { return *nodes_[pid]; }
   const Node& node(ProcessId pid) const { return *nodes_[pid]; }
 
+  /// Stable client-facing ingress port of one node (0 unless the cluster was
+  /// built with opts.ingress_enable). Pre-picked at construction, so a node
+  /// restarted via restart_node rebinds the same port and its clients can
+  /// redial the endpoint they already know.
+  std::uint16_t ingress_port(ProcessId pid) const {
+    return ingress_ports_.empty() ? 0 : ingress_ports_[pid];
+  }
+
   /// Polls until every node a_delivered >= count blocks, or timeout.
   bool wait_all_delivered(std::uint64_t count,
                           std::chrono::milliseconds timeout);
@@ -76,6 +89,11 @@ class Cluster {
   ClusterTweaks tweaks_;
   coin::CoinDealer dealer_;
   net::InProcNetwork net_;
+  /// tweaks_.tcp_transport: where node i's protocol endpoint listens.
+  std::vector<net::TcpPeer> tcp_peers_;
+  /// opts_.ingress_enable: per-node client-facing ports, stable for the
+  /// cluster's lifetime (restarts rebind them).
+  std::vector<std::uint16_t> ingress_ports_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
   bool stopped_ = false;

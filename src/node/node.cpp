@@ -11,6 +11,7 @@ Node::Node(std::unique_ptr<net::Transport> transport,
       transport_(std::move(transport)),
       inbox_(opts_.inbox_capacity),
       bus_(*transport_),
+      mempool_(opts_.mempool),
       epoch_(std::chrono::steady_clock::now()) {
   const ProcessId my_pid = transport_->pid();
 
@@ -67,8 +68,14 @@ Node::Node(std::unique_ptr<net::Transport> transport,
     }
     delivered_count_.fetch_add(1, std::memory_order_release);
     if (auto txs = txpool::decode_block(BytesView(block))) {
-      std::lock_guard<std::mutex> lk(mempool_mu_);
-      mempool_.observe_delivered(txs.value());
+      // Commit path of the ingress tier (DESIGN.md §13): every delivered tx
+      // enters the recently-committed dedup window, and the ones whose
+      // submitting session lives on this node get their ack routed back.
+      for (const txpool::Transaction& tx : txs.value()) {
+        if (auto origin = mempool_.mark_committed(ingress::tx_digest(tx))) {
+          if (ingress_) ingress_->complete(*origin);
+        }
+      }
     }
     if (app_deliver_) app_deliver_(block, r, src, t);
   });
@@ -94,6 +101,10 @@ Node::Node(std::unique_ptr<net::Transport> transport,
   catchup_ = std::make_unique<CatchupSync>(bus_, my_pid, *builder_,
                                            opts_.catchup);
   last_heard_us_.assign(committee().n, 0);
+  if (opts_.ingress_enable) {
+    ingress_ = std::make_unique<ingress::IngressServer>(mempool_,
+                                                        opts_.ingress);
+  }
 }
 
 Node::~Node() { stop(); }
@@ -111,6 +122,9 @@ void Node::start() {
     }
   });
   thread_ = std::thread([this] { loop(); });
+  if (ingress_) {
+    DR_ASSERT_MSG(ingress_->start(), "ingress listener failed to bind");
+  }
 }
 
 void Node::loop() {
@@ -221,19 +235,21 @@ void Node::maybe_compact() {
 }
 
 void Node::refill_from_mempool() {
-  if (builder_->blocks_pending() >= opts_.max_blocks_pending) return;
-  Bytes block;
-  {
-    std::lock_guard<std::mutex> lk(mempool_mu_);
-    if (mempool_.pending() == 0) return;
-    block = mempool_.next_block(opts_.block_max_txs);
+  while (builder_->blocks_pending() < opts_.max_blocks_pending) {
+    std::vector<txpool::Transaction> txs =
+        mempool_.drain(opts_.block_max_txs);
+    if (txs.empty()) return;
+    rider_->a_bcast(txpool::encode_block(txs));
   }
-  if (!block.empty()) rider_->a_bcast(std::move(block));
 }
 
 bool Node::submit(txpool::Transaction tx) {
-  std::lock_guard<std::mutex> lk(mempool_mu_);
-  return mempool_.submit(std::move(tx));
+  return submit_tx(std::move(tx)) == ingress::SubmitStatus::kAccepted;
+}
+
+ingress::SubmitStatus Node::submit_tx(txpool::Transaction tx) {
+  // Internal (non-session) submission: origin 0 means no ack routing.
+  return mempool_.submit(std::move(tx), ingress::TxOrigin{});
 }
 
 void Node::a_bcast(Bytes block) {
@@ -256,6 +272,9 @@ void Node::stop_loop() {
 void Node::stop_transport() {
   if (transport_stopped_) return;
   transport_stopped_ = true;
+  // Ingress sessions go first: client-facing sockets must not outlive the
+  // loop that produced their acks.
+  if (ingress_) ingress_->stop();
   transport_->stop();
 }
 
@@ -302,6 +321,21 @@ metrics::Counters Node::counters() const {
                      s.recovered_truncated_bytes);
     out.emplace_back("store.snapshot_loaded", s.snapshot_loaded ? 1 : 0);
   }
+  const ingress::MempoolStats m = mempool_.stats();
+  out.emplace_back("mempool.accepted", m.accepted);
+  out.emplace_back("mempool.rejected_busy", m.rejected_busy);
+  out.emplace_back("mempool.rejected_dup_pending", m.rejected_dup_pending);
+  out.emplace_back("mempool.rejected_dup_committed",
+                   m.rejected_dup_committed);
+  out.emplace_back("mempool.rejected_overflow", m.rejected_overflow);
+  out.emplace_back("mempool.rejected_too_large", m.rejected_too_large);
+  out.emplace_back("mempool.drained", m.drained);
+  out.emplace_back("mempool.committed_with_origin", m.committed_with_origin);
+  out.emplace_back("mempool.committed_foreign", m.committed_foreign);
+  out.emplace_back("mempool.window_evictions", m.window_evictions);
+  out.emplace_back("mempool.pending", mempool_.pending());
+  out.emplace_back("mempool.in_flight", mempool_.in_flight());
+  if (ingress_) metrics::append_prefixed(out, "ingress", ingress_->counters());
   // Transport-side introspection: backpressure plus whatever the concrete
   // transport (or a chaos decorator around it) exposes, so fault-injection
   // soaks are auditable from the same flat snapshot as everything else.

@@ -7,9 +7,11 @@
 // including this node's own broadcasts looping back, is dispatched on the
 // node thread from the inbox. Thread-safety exists only at the boundaries:
 // the net::Inbox (transport/link threads push, node thread drains), the
-// mempool mutex (client threads submit, node thread drains), and the
-// delivered/commit log mutex (node thread appends, observers snapshot).
-// Nothing inside rbc/, dag/, or core/ ever sees two threads.
+// sharded mempool's per-shard locks (client/ingress threads submit, node
+// thread drains), the ingress server's ack queue (node thread enqueues, the
+// ingress I/O thread flushes), and the delivered/commit log mutex (node
+// thread appends, observers snapshot). Nothing inside rbc/, dag/, or core/
+// ever sees two threads.
 #pragma once
 
 #include <atomic>
@@ -25,6 +27,8 @@
 #include "common/assert.hpp"
 #include "core/dag_rider.hpp"
 #include "core/records.hpp"
+#include "ingress/mempool.hpp"
+#include "ingress/server.hpp"
 #include "metrics/counters.hpp"
 #include "net/bus.hpp"
 #include "net/inbox.hpp"
@@ -33,7 +37,6 @@
 #include "node/catchup.hpp"
 #include "rbc/factory.hpp"
 #include "storage/store.hpp"
-#include "txpool/mempool.hpp"
 
 namespace dr::node {
 
@@ -83,6 +86,13 @@ struct NodeOptions {
   std::size_t inbox_capacity = 1 << 16;
   /// Event-loop sleep cap when the inbox is empty.
   std::chrono::milliseconds idle_wait{1};
+  /// Sharded mempool behind submit()/the ingress tier (DESIGN.md §13).
+  ingress::MempoolOptions mempool{};
+  /// Client ingress front end: when enabled, start() also opens a TCP
+  /// tx-submission endpoint (ingress.port 0 = kernel-assigned, read back via
+  /// ingress_port()) and a_deliver routes commit acks to client sessions.
+  bool ingress_enable = false;
+  ingress::ServerOptions ingress{};
 };
 
 /// net::Bus facade over one Transport endpoint: subscribe() registers local
@@ -164,6 +174,17 @@ class Node {
   /// duplicate or mempool overflow (client-facing backpressure).
   bool submit(txpool::Transaction tx);
 
+  /// Full-verdict submission path (what the ingress server uses); submit()
+  /// is the boolean convenience wrapper over this.
+  ingress::SubmitStatus submit_tx(txpool::Transaction tx);
+
+  ingress::ShardedMempool& mempool() { return mempool_; }
+  /// Non-null iff opts.ingress_enable; the TCP port is assigned in start().
+  ingress::IngressServer* ingress() { return ingress_.get(); }
+  std::uint16_t ingress_port() const {
+    return ingress_ ? ingress_->port() : 0;
+  }
+
   /// a_bcast(b): queues an opaque block for proposal, bypassing the mempool.
   /// Thread-safe; the block rides the inbox to the node thread.
   void a_bcast(Bytes block);
@@ -226,8 +247,8 @@ class Node {
   /// now_us() of the last frame received from each peer (node thread only).
   std::vector<std::uint64_t> last_heard_us_;
 
-  std::mutex mempool_mu_;
-  txpool::Mempool mempool_;
+  ingress::ShardedMempool mempool_;
+  std::unique_ptr<ingress::IngressServer> ingress_;
 
   mutable std::mutex log_mu_;
   std::vector<core::DeliveredRecord> delivered_;

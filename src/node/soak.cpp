@@ -1,12 +1,14 @@
 #include "node/soak.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "core/audit.hpp"
+#include "ingress/loadgen.hpp"
 #include "net/chaos.hpp"
 
 namespace dr::node {
@@ -67,6 +69,7 @@ SoakResult run_chaos_soak(const SoakOptions& opts) {
   NodeOptions nopts;
   nopts.seed = opts.seed;
   nopts.wal_dir = opts.wal_dir;
+  nopts.ingress_enable = opts.with_ingress;
 
   ClusterTweaks tweaks;
   tweaks.transport_wrap = [plan](ProcessId,
@@ -82,6 +85,27 @@ SoakResult run_chaos_soak(const SoakOptions& opts) {
   const auto deadline = std::chrono::steady_clock::now() + opts.timeout;
   cluster.start();
 
+  // Client traffic rides the whole fault schedule: the loadgen submits
+  // through every node's ingress endpoint (including the churn victim's —
+  // its clients redial the stable port and resubmit after the restart).
+  std::unique_ptr<ingress::LoadGen> loadgen;
+  if (opts.with_ingress) {
+    ingress::LoadGenOptions lg;
+    lg.clients = opts.ingress_clients;
+    lg.connections = std::max<std::size_t>(8, opts.n * 4);
+    for (ProcessId pid = 0; pid < opts.n; ++pid) {
+      lg.targets.push_back(
+          ingress::LoadGenTarget{"127.0.0.1", cluster.ingress_port(pid)});
+    }
+    lg.rate_tps = opts.ingress_rate_tps;
+    lg.churn_period_ms = opts.ingress_churn_period_ms;
+    lg.seed = sched.next();
+    lg.connect_timeout_ms = 500;
+    lg.drain_ms = 500;
+    loadgen = std::make_unique<ingress::LoadGen>(lg);
+    loadgen->start();
+  }
+
   if (opts.with_churn) {
     std::this_thread::sleep_for(std::chrono::milliseconds(churn_stop_ms));
     cluster.stop_node(churn_pid);
@@ -93,6 +117,17 @@ SoakResult run_chaos_soak(const SoakOptions& opts) {
       deadline - std::chrono::steady_clock::now());
   result.progressed = cluster.wait_all_delivered(
       opts.target_delivered, std::max(remaining, std::chrono::milliseconds(1)));
+  if (loadgen) {
+    // Wind the clients down before the nodes: their sessions die with the
+    // ingress servers, and the drain window wants live ack paths.
+    const ingress::LoadGenReport lr = loadgen->stop_and_report();
+    result.ingress_submitted = lr.submitted;
+    result.ingress_acked = lr.acked;
+    result.ingress_resubmitted = lr.resubmitted;
+    result.ingress_churn_events = lr.churn_events;
+    result.ingress_ack_p50_ms = lr.ack_latency_ms.percentile(0.50);
+    result.ingress_ack_p99_ms = lr.ack_latency_ms.percentile(0.99);
+  }
   cluster.stop();
 
   auto delivered = cluster.delivered_logs();

@@ -39,6 +39,15 @@ struct SoakOptions {
   /// Self-test hook: corrupt one delivered record before auditing, proving
   /// the harness catches violations and replays them from the printed seed.
   bool canary = false;
+  /// Drive client traffic through every node's TCP ingress tier for the
+  /// whole run, with seeded client connect/disconnect churn — the
+  /// reconnect-resubmit path exercised under the same fault schedule as the
+  /// protocol (DESIGN.md §13).
+  bool with_ingress = false;
+  std::uint64_t ingress_clients = 2'000;
+  double ingress_rate_tps = 2'000.0;
+  /// Loadgen-side connection churn period (0 = no client churn).
+  std::uint64_t ingress_churn_period_ms = 150;
 };
 
 struct SoakResult {
@@ -53,8 +62,16 @@ struct SoakResult {
   /// pid crashed and restarted mid-run, or n when churn was off.
   ProcessId churn_pid = 0;
   /// Cluster-wide counter aggregate (includes transport.chaos.* fault
-  /// counts and transport.backpressure_overflows).
+  /// counts, transport.backpressure_overflows, and — with ingress on —
+  /// the mempool.* / ingress.* families).
   metrics::Counters counters;
+  /// Ingress loadgen outcome (all zero when with_ingress was off).
+  std::uint64_t ingress_submitted = 0;
+  std::uint64_t ingress_acked = 0;
+  std::uint64_t ingress_resubmitted = 0;
+  std::uint64_t ingress_churn_events = 0;
+  double ingress_ack_p50_ms = 0.0;
+  double ingress_ack_p99_ms = 0.0;
 
   /// One-line replay recipe, printed on any violation.
   std::string describe() const;

@@ -60,6 +60,14 @@ Rules (each suppressible per line with `// daglint: allow(<rule>)`):
                     hashes non-payload protocol transcripts, the second
                     exists only for backend cross-checks.
 
+  ingress-blocking  No blocking socket syscalls (raw ::recv/::send/::accept/
+                    ::connect/::poll/::select, sleeps, condition waits) in
+                    src/ingress/ outside sockets.cpp. The ingress tier runs
+                    one poll()-driven I/O thread over nonblocking fds
+                    (DESIGN.md §13); ingress/sockets.{hpp,cpp} is the single
+                    sanctioned raw-syscall site, and one blocking call
+                    anywhere else stalls every client session on the node.
+
   chaos-seeded      In chaos/soak sources (any path component containing
                     "chaos" or "soak"), every RNG construction
                     (Xoshiro256, SplitMix64) must take an argument that
@@ -225,9 +233,22 @@ CHAOS_SEED_REF = re.compile(r"seed", re.IGNORECASE)
 CHAOS_MARKERS = ("chaos", "soak")
 
 PROTOCOL_DIRS = ("core", "dag", "rbc", "coin")
-CONCURRENCY_DIRS = ("net", "node")
+CONCURRENCY_DIRS = ("net", "node", "ingress")
 STORAGE_DIRS = ("storage",)
 CRYPTO_DIRS = ("crypto",)
+
+# Blocking primitives forbidden in src/ingress/ outside the sanctioned
+# syscall site. Raw syscalls are written at global scope (`::recv(...)`), so
+# the lookbehind keeps qualified member calls (Client::connect) from hitting.
+INGRESS_DIRS = ("ingress",)
+INGRESS_SOCKETS_SUFFIX = "ingress/sockets.cpp"
+INGRESS_BLOCKING_PATTERNS = [
+    (re.compile(r"(?<![\w:])::\s*(recv|send|sendto|recvfrom|accept4?|connect|"
+                r"read|write|poll|ppoll|select|epoll_wait)\s*\("),
+     "raw socket/syscall"),
+    (re.compile(r"\bsleep(_for|_until)?\s*\("), "sleep"),
+    (re.compile(r"\.\s*wait(_for|_until)?\s*\("), "blocking wait"),
+]
 
 SHA256_ALLOWLIST_FILE = Path(__file__).resolve().parent / "sha256_allowlist.txt"
 _sha256_allowlist_cache: list[str] | None = None
@@ -273,6 +294,8 @@ def check_file(path: Path, text: str, rules) -> list[Finding]:
     in_protocol = in_dirs(path, PROTOCOL_DIRS)
     in_concurrency = in_dirs(path, CONCURRENCY_DIRS)
     in_storage = in_dirs(path, STORAGE_DIRS)
+    in_ingress_unsanctioned = (in_dirs(path, INGRESS_DIRS) and
+                               not rel(path).endswith(INGRESS_SOCKETS_SUFFIX))
     sha256_sanctioned = in_dirs(path, CRYPTO_DIRS) or any(
         rel(path).endswith(entry) for entry in sha256_allowlist())
 
@@ -311,6 +334,15 @@ def check_file(path: Path, text: str, rules) -> list[Finding]:
                    "boundary; consume the memoized net::Payload::digest() "
                    "(single-hash discipline, DESIGN.md §11) or add this file "
                    "to tools/daglint/sha256_allowlist.txt")
+        if in_ingress_unsanctioned:
+            for pat, msg in INGRESS_BLOCKING_PATTERNS:
+                if pat.search(line):
+                    report(idx, "ingress-blocking",
+                           msg + " in src/ingress/ outside sockets.cpp; the "
+                           "ingress I/O thread must stay nonblocking "
+                           "(DESIGN.md §13) — go through the ingress/"
+                           "sockets.hpp wrappers")
+                    break
         if is_chaos_code:
             m = CHAOS_RNG_CTOR.search(line)
             if m and not CHAOS_SEED_REF.search(line[m.end():]):
@@ -340,6 +372,7 @@ ALL_RULES = (
     "nodiscard-decode",
     "file-io",
     "payload-hash",
+    "ingress-blocking",
     "chaos-seeded",
 )
 

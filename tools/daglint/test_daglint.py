@@ -259,6 +259,62 @@ class PayloadHash(unittest.TestCase):
         self.assertEqual(rules_of(findings), set())
 
 
+class IngressBlocking(unittest.TestCase):
+    def test_raw_recv_in_ingress_server_flagged(self):
+        findings = lint_snippet(
+            "src/ingress/server.cpp",
+            "ssize_t n = ::recv(fd, buf, len, 0);\n")
+        self.assertIn("ingress-blocking", rules_of(findings))
+
+    def test_sleep_in_ingress_client_flagged(self):
+        findings = lint_snippet(
+            "src/ingress/client.cpp",
+            "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n")
+        self.assertIn("ingress-blocking", rules_of(findings))
+
+    def test_cv_wait_in_ingress_flagged(self):
+        findings = lint_snippet(
+            "src/ingress/loadgen.cpp",
+            "cv.wait(lk, [] { return done; });\n")
+        self.assertIn("ingress-blocking", rules_of(findings))
+
+    def test_sockets_cpp_is_the_sanctioned_site(self):
+        findings = lint_snippet(
+            "src/ingress/sockets.cpp",
+            "ssize_t n = ::recv(fd, buf, len, MSG_DONTWAIT);\n"
+            "ssize_t m = ::send(fd, buf, len, MSG_DONTWAIT);\n")
+        self.assertNotIn("ingress-blocking", rules_of(findings))
+
+    def test_wrapper_and_member_calls_clean(self):
+        # sock:: wrappers and qualified member definitions must not hit the
+        # raw-syscall pattern.
+        findings = lint_snippet(
+            "src/ingress/good.cpp",
+            "auto io = sock::recv_some(fd, buf, len, got);\n"
+            "bool Client::connect(int timeout_ms) { return true; }\n"
+            "sock::poll_fds(pfds.data(), pfds.size(), 1);\n")
+        self.assertEqual(rules_of(findings), set())
+
+    def test_outside_ingress_out_of_scope(self):
+        findings = lint_snippet(
+            "src/net/tcp.cpp",
+            "ssize_t n = ::recv(fd, buf, len, 0);\n")
+        self.assertNotIn("ingress-blocking", rules_of(findings))
+
+    def test_allow_comment_suppresses(self):
+        findings = lint_snippet(
+            "src/ingress/special.cpp",
+            "::recv(fd, b, n, 0);  // daglint: allow(ingress-blocking)\n")
+        self.assertEqual(rules_of(findings), set())
+
+    def test_thread_primitives_allowed_in_ingress(self):
+        # src/ingress/ is a sanctioned concurrency boundary like net/node.
+        findings = lint_snippet(
+            "src/ingress/server.hpp",
+            "std::mutex acks_mu_;\nstd::atomic<bool> running_{false};\n")
+        self.assertEqual(rules_of(findings), set())
+
+
 class ChaosSeeded(unittest.TestCase):
     def test_literal_seeded_rng_in_chaos_file_flagged(self):
         findings = lint_snippet(
