@@ -19,12 +19,19 @@
 // faults, with the injected-fault counters emitted as their own table (and
 // into --json), so fault pressure is auditable next to the numbers it
 // degraded.
+// With --ordering <dagrider|bullshark|both> the bench runs the same n=4
+// workload under BOTH ordering personalities (DESIGN.md §14) and reports
+// them side by side plus the p50 commit-latency ratio — the happy-path
+// latency claim of the Bullshark commit rule, measured on this host. Both
+// rows land in the --json artifact regardless of which personality the flag
+// named, so either invocation yields the full comparison.
 #include <atomic>
 #include <filesystem>
 #include <mutex>
 
 #include "bench_util.hpp"
 #include "core/audit.hpp"
+#include "core/ordering.hpp"
 #include "ingress/loadgen.hpp"
 #include "metrics/counters.hpp"
 #include "net/chaos.hpp"
@@ -55,11 +62,14 @@ RealtimeRun run_cluster(std::uint32_t n, std::size_t block_max_txs,
                         std::uint64_t total_txs, std::size_t tx_payload,
                         const std::string& wal_dir = "",
                         const net::ChaosPlan* plan = nullptr,
-                        metrics::Counters* counters_out = nullptr) {
+                        metrics::Counters* counters_out = nullptr,
+                        core::OrderingKind ordering =
+                            core::OrderingKind::kDagRider) {
   node::NodeOptions opts;
   opts.seed = 1234;
   opts.block_max_txs = block_max_txs;
   opts.wal_dir = wal_dir;
+  opts.ordering = ordering;
   Committee committee = Committee::for_n(n);
   node::ClusterTweaks tweaks;
   if (plan != nullptr) {
@@ -177,6 +187,42 @@ void sweep_block_size() {
                metrics::Table::fmt(r.p99_ms, 2)});
   }
   emit(t);
+}
+
+// --ordering: the same n=4 workload under both ordering personalities. The
+// DAG layer, runtime, and transport are identical; only the commit rule
+// differs, so the p50 delta is the happy-path latency cost of DAG-Rider's
+// 4-round waves vs Bullshark's 2-round anchors (DESIGN.md §14).
+void sweep_ordering() {
+  const std::uint64_t total = smoke() ? 2'000 : 20'000;
+  metrics::Table t({"ordering", "txs/s", "blocks/s", "commits/s", "p50 ms",
+                    "p99 ms"});
+  double p50[2] = {0, 0};
+  bool ok[2] = {false, false};
+  for (core::OrderingKind kind :
+       {core::OrderingKind::kDagRider, core::OrderingKind::kBullshark}) {
+    const char* name = core::to_string(kind);
+    const RealtimeRun r = run_cluster(
+        4, /*block_max_txs=*/256, total, /*tx_payload=*/32,
+        wal_base(std::string("rt-ord-") + name), nullptr, nullptr, kind);
+    const auto idx = static_cast<std::size_t>(kind);
+    p50[idx] = r.p50_ms;
+    ok[idx] = r.ok;
+    t.add_row({name, r.ok ? metrics::Table::fmt(r.txs_per_sec, 0) : "stall",
+               metrics::Table::fmt(r.blocks_per_sec, 0),
+               metrics::Table::fmt(r.commits_per_sec, 1),
+               metrics::Table::fmt(r.p50_ms, 2),
+               metrics::Table::fmt(r.p99_ms, 2)});
+  }
+  emit(t);
+  if (ok[0] && ok[1] && p50[1] > 0) {
+    metrics::Table ratio({"metric", "value"});
+    ratio.add_row({"p50 ratio dagrider/bullshark",
+                   metrics::Table::fmt(p50[0] / p50[1], 2)});
+    emit(ratio);
+  } else {
+    std::fprintf(stderr, "RT ORDERING: a personality stalled; no ratio\n");
+  }
 }
 
 // --restart: crash one node of a durable 4-node cluster, restart it, and
@@ -380,6 +426,20 @@ int main(int argc, char** argv) {
         "RT-INGRESS",
         "client ingress tier: open-loop loadgen over TCP, commit-ack latency");
     dr::bench::sweep_ingress();
+    dr::bench::bench_finish();
+    return 0;
+  }
+  if (!dr::bench::ordering_mode().empty()) {
+    if (dr::bench::ordering_mode() != "both" &&
+        !dr::core::parse_ordering(dr::bench::ordering_mode()).has_value()) {
+      std::fprintf(stderr, "unknown ordering: %s (dagrider|bullshark|both)\n",
+                   dr::bench::ordering_mode().c_str());
+      return 2;
+    }
+    dr::bench::print_header(
+        "RT-ORDERING",
+        "ordering personalities head-to-head: dagrider vs bullshark (n=4)");
+    dr::bench::sweep_ordering();
     dr::bench::bench_finish();
     return 0;
   }

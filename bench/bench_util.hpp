@@ -34,6 +34,12 @@ inline const std::vector<std::uint32_t> kSweepN = {4, 7, 10, 13, 16};
 ///                   the tx-submission front end with the open-loop loadgen
 ///                   and report throughput plus p50/p99 commit-ack latency
 ///                   (bench_realtime_throughput)
+///   --ordering <p>  ordering head-to-head: run the n=4 cluster under BOTH
+///                   personalities (dagrider and bullshark) and report the
+///                   p50 commit-latency ratio, with <p> = dagrider |
+///                   bullshark | both naming the personality under test
+///                   (bench_realtime_throughput; both always run so the
+///                   comparison and its JSON artifact carry both rows)
 struct BenchArgs {
   std::string json_path;
   std::string wal_dir;
@@ -42,6 +48,7 @@ struct BenchArgs {
   bool chaos = false;
   std::uint64_t chaos_seed = 1;
   bool ingress = false;
+  std::string ordering;  ///< empty = no ordering comparison requested
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -63,6 +70,8 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       }
     } else if (a == "--ingress") {
       out.ingress = true;
+    } else if (a == "--ordering" && i + 1 < argc) {
+      out.ordering = argv[++i];
     }
   }
   return out;
@@ -85,6 +94,7 @@ class BenchIo {
   bool chaos() const { return args_.chaos; }
   std::uint64_t chaos_seed() const { return args_.chaos_seed; }
   bool ingress() const { return args_.ingress; }
+  const std::string& ordering() const { return args_.ordering; }
   void section(std::string id) { section_ = std::move(id); }
 
   void emit(const metrics::Table& t) {
@@ -152,6 +162,9 @@ inline bool restart_mode() { return BenchIo::instance().restart(); }
 inline bool chaos_mode() { return BenchIo::instance().chaos(); }
 inline std::uint64_t chaos_seed() { return BenchIo::instance().chaos_seed(); }
 inline bool ingress_mode() { return BenchIo::instance().ingress(); }
+inline const std::string& ordering_mode() {
+  return BenchIo::instance().ordering();
+}
 inline void emit(const metrics::Table& t) { BenchIo::instance().emit(t); }
 
 /// kSweepN, trimmed in smoke mode.

@@ -11,6 +11,8 @@
 //   chaos_soak --wal <dir>         # enable durability + crash-churn soaks
 //   chaos_soak --ingress           # client traffic through the TCP ingress
 //                                  # tier (with churning clients) every run
+//   chaos_soak --ordering bullshark  # run every soak under the Bullshark
+//                                    # ordering personality (default dagrider)
 //
 // Exit status: 0 when every run progressed and passed the auditors; 1 on
 // the first violation or stall.
@@ -20,6 +22,7 @@
 #include <filesystem>
 #include <string>
 
+#include "core/ordering.hpp"
 #include "node/soak.hpp"
 
 namespace {
@@ -31,6 +34,7 @@ struct Args {
   std::string wal_dir;
   bool smoke = false;
   bool ingress = false;
+  dr::core::OrderingKind ordering = dr::core::OrderingKind::kDagRider;
 };
 
 Args parse(int argc, char** argv) {
@@ -48,6 +52,14 @@ Args parse(int argc, char** argv) {
       a.smoke = true;
     } else if (!std::strcmp(argv[i], "--ingress")) {
       a.ingress = true;
+    } else if (!std::strcmp(argv[i], "--ordering") && i + 1 < argc) {
+      const auto kind = dr::core::parse_ordering(argv[++i]);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "unknown ordering: %s (dagrider|bullshark)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+      a.ordering = *kind;
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
       std::exit(2);
@@ -71,6 +83,7 @@ bool run_one(const Args& args, std::uint64_t seed, std::uint32_t n) {
   dr::node::SoakOptions opts;
   opts.seed = seed;
   opts.n = n;
+  opts.ordering = args.ordering;
   opts.target_delivered = args.smoke ? 20 : 40;
   opts.timeout = std::chrono::minutes(3);
   opts.wal_dir = fresh_wal(args.wal_dir, seed, n);
@@ -94,9 +107,9 @@ bool run_one(const Args& args, std::uint64_t seed, std::uint32_t n) {
 
   const dr::node::SoakResult r = dr::node::run_chaos_soak(opts);
   if (r.ok) {
-    std::printf("ok   seed=%llu n=%u byz=%s churn=%s faults=%s\n",
+    std::printf("ok   seed=%llu n=%u ordering=%s byz=%s churn=%s faults=%s\n",
                 static_cast<unsigned long long>(seed), n,
-                to_string(opts.byzantine),
+                dr::core::to_string(opts.ordering), to_string(opts.byzantine),
                 opts.with_churn ? "yes" : "no",
                 r.plan.c_str());
     if (opts.with_ingress) {

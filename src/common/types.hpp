@@ -38,6 +38,11 @@ struct Committee {
   [[nodiscard]] constexpr std::uint32_t quorum() const { return 2 * f + 1; }
   /// f + 1, the intersection bound / coin reconstruction threshold.
   [[nodiscard]] constexpr std::uint32_t small_quorum() const { return f + 1; }
+  /// n - 2f, the smallest vote count certain to intersect any 2f+1-sized
+  /// strong-edge set (Bullshark's steady-state commit threshold). Equals
+  /// small_quorum() when n = 3f+1; for committees with slack (n > 3f+1) the
+  /// f+1 shortcut would NOT intersect, so this is the safe general form.
+  [[nodiscard]] constexpr std::uint32_t vote_quorum() const { return n - 2 * f; }
   [[nodiscard]] constexpr bool valid() const { return n >= 1 && n > 3 * f; }
 };
 

@@ -48,7 +48,7 @@ Node::Node(sim::Network& net, ProcessId pid, const SystemConfig& cfg,
           threshold_coin->ingest_share(from, w, y);
         });
   }
-  rider_ = std::make_unique<DagRider>(*builder_, *coin_);
+  rider_ = make_ordering(cfg.ordering, *builder_, *coin_, cfg.bullshark);
   if (cfg.gc_depth_rounds > 0) rider_->enable_gc(cfg.gc_depth_rounds);
   rider_->set_deliver([this, &sim](const Bytes& block,
                                    const crypto::Digest& block_digest, Round r,
@@ -66,6 +66,11 @@ Node::Node(sim::Network& net, ProcessId pid, const SystemConfig& cfg,
 
 System::System(SystemConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
   DR_ASSERT_MSG(cfg_.committee.valid(), "System: committee must satisfy n > 3f");
+  // The personality owns the wave geometry: Bullshark's commit rule is
+  // defined over 2-round waves, so its choice overrides the builder knob.
+  if (const Round rpw = ordering_rounds_per_wave(cfg_.ordering)) {
+    cfg_.builder.rounds_per_wave = rpw;
+  }
   if (!cfg_.delays) {
     cfg_.delays = std::make_unique<sim::UniformDelay>(1, 100);
   }

@@ -12,7 +12,7 @@
 #include "coin/coin.hpp"
 #include "coin/dealer.hpp"
 #include "coin/threshold_coin.hpp"
-#include "core/dag_rider.hpp"
+#include "core/ordering.hpp"
 #include "core/records.hpp"
 #include "crypto/sha256.hpp"
 #include "rbc/factory.hpp"
@@ -46,6 +46,10 @@ struct SystemConfig {
   rbc::RbcKind rbc_kind = rbc::RbcKind::kBracha;
   rbc::GossipParams gossip;
   CoinMode coin_mode = CoinMode::kThreshold;
+  /// Which commit rule orders the DAG (DESIGN.md §14). kBullshark forces
+  /// builder.rounds_per_wave to 2 (its wave geometry).
+  OrderingKind ordering = OrderingKind::kDagRider;
+  BullsharkOptions bullshark{};
   /// Rounds per wave / weak-edge ablation knobs.
   dag::BuilderOptions builder{.auto_blocks = true, .auto_block_size = 64};
   /// DAG garbage-collection window in rounds; 0 disables GC (the paper's
@@ -68,7 +72,7 @@ class Node {
        sim::Simulator& sim);
 
   dag::DagBuilder& builder() { return *builder_; }
-  DagRider& rider() { return *rider_; }
+  OrderingRule& rider() { return *rider_; }
   rbc::ReliableBroadcast& rbc() { return *rbc_; }
   coin::Coin& coin() { return *coin_; }
 
@@ -85,7 +89,7 @@ class Node {
   std::unique_ptr<rbc::ReliableBroadcast> rbc_;
   std::unique_ptr<coin::Coin> coin_;
   std::unique_ptr<dag::DagBuilder> builder_;
-  std::unique_ptr<DagRider> rider_;
+  std::unique_ptr<OrderingRule> rider_;
   std::vector<DeliveredRecord> delivered_;
   std::vector<CommitRecord> commits_;
   AppDeliverFn app_deliver_;

@@ -144,6 +144,20 @@ std::optional<TxOrigin> ShardedMempool::mark_committed(
   return std::nullopt;
 }
 
+void ShardedMempool::restore_in_flight(const txpool::Transaction& tx) {
+  const crypto::Digest digest = tx_digest(tx);
+  Shard& shard = *shards_[shard_of(digest)];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  if (shard.committed.count(digest) != 0 ||
+      shard.pending.count(digest) != 0 ||
+      shard.in_flight.count(digest) != 0) {
+    return;
+  }
+  shard.in_flight.emplace(digest, TxOrigin{});
+  in_flight_count_.fetch_add(1, std::memory_order_relaxed);
+  restored_in_flight_.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool ShardedMempool::recently_committed(const crypto::Digest& digest) const {
   const Shard& shard = *shards_[shard_of(digest)];
   std::lock_guard<std::mutex> lk(shard.mu);
@@ -172,6 +186,7 @@ MempoolStats ShardedMempool::stats() const {
       committed_with_origin_.load(std::memory_order_relaxed);
   s.committed_foreign = committed_foreign_.load(std::memory_order_relaxed);
   s.window_evictions = window_evictions_.load(std::memory_order_relaxed);
+  s.restored_in_flight = restored_in_flight_.load(std::memory_order_relaxed);
   return s;
 }
 

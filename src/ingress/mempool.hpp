@@ -72,6 +72,7 @@ struct MempoolStats {
   std::uint64_t committed_with_origin = 0;  ///< commits that owned a session
   std::uint64_t committed_foreign = 0;      ///< committed via another node
   std::uint64_t window_evictions = 0;
+  std::uint64_t restored_in_flight = 0;  ///< txs re-registered from the WAL
 };
 
 class ShardedMempool {
@@ -98,6 +99,17 @@ class ShardedMempool {
   /// recently-committed window. Returns the origin when this node owned the
   /// submitting session (the ack path), nullopt for foreign or internal txs.
   std::optional<TxOrigin> mark_committed(const crypto::Digest& digest);
+
+  /// Recovery seeding (node thread, during WAL replay setup): re-registers
+  /// a tx carried by a restored-but-not-yet-delivered own proposal, closing
+  /// the at-least-once race where a client resubmit after our restart was
+  /// re-accepted into a second block while the WAL'd proposal still held the
+  /// tx (double delivery). The restored entry sits in the in-flight set with
+  /// an empty origin — the pre-crash session is gone, so the eventual commit
+  /// ack is unroutable; the resubmitting client observes kDuplicatePending
+  /// now and kDuplicateCommitted once the replayed proposal delivers. No-op
+  /// if the digest is already pending, in-flight, or recently committed.
+  void restore_in_flight(const txpool::Transaction& tx);
 
   bool recently_committed(const crypto::Digest& digest) const;
   /// True while the digest is pending or in-flight.
@@ -167,6 +179,7 @@ class ShardedMempool {
   std::atomic<std::uint64_t> committed_with_origin_{0};
   std::atomic<std::uint64_t> committed_foreign_{0};
   std::atomic<std::uint64_t> window_evictions_{0};
+  std::atomic<std::uint64_t> restored_in_flight_{0};
 };
 
 }  // namespace dr::ingress

@@ -77,6 +77,14 @@ void Cluster::stop_node(ProcessId pid) {
   nodes_[pid]->stop();
 }
 
+void Cluster::set_profile(ProcessId pid, ByzantineProfile profile) {
+  DR_ASSERT(pid < committee_.n);
+  if (tweaks_.profiles.empty()) {
+    tweaks_.profiles.assign(committee_.n, opts_.byzantine);
+  }
+  tweaks_.profiles[pid] = profile;
+}
+
 void Cluster::restart_node(ProcessId pid) {
   DR_ASSERT(pid < nodes_.size());
   DR_ASSERT_MSG(started_ && !stopped_,

@@ -50,6 +50,11 @@ class Cluster {
   /// the cluster keeps running. Peers' sends to it drop, as on a real
   /// network partition.
   void stop_node(ProcessId pid);
+  /// Changes one node's Byzantine profile for subsequent (re)starts — e.g.
+  /// a kMute node that crash-stops and comes back honest, the shape of the
+  /// ingress at-least-once regression. Takes effect at the next
+  /// restart_node(pid); the running instance is untouched.
+  void set_profile(ProcessId pid, ByzantineProfile profile);
   /// Replaces a stopped node with a fresh Node on the same endpoint slot and
   /// (when the cluster was built with a wal_dir) the same data directory —
   /// the restarted node recovers from its WAL, then catch-up sync fills the

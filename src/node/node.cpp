@@ -1,5 +1,7 @@
 #include "node/node.hpp"
 
+#include <unordered_set>
+
 #include "crypto/sha256.hpp"
 #include "txpool/transaction.hpp"
 
@@ -14,6 +16,12 @@ Node::Node(std::unique_ptr<net::Transport> transport,
       mempool_(opts_.mempool),
       epoch_(std::chrono::steady_clock::now()) {
   const ProcessId my_pid = transport_->pid();
+
+  // The personality owns the wave geometry: Bullshark's commit rule is
+  // defined over 2-round waves, so its choice overrides the builder knob.
+  if (const Round rpw = core::ordering_rounds_per_wave(opts_.ordering)) {
+    opts_.builder.rounds_per_wave = rpw;
+  }
 
   rbc_ = rbc::make_factory(opts_.rbc_kind)(bus_, my_pid, opts_.seed);
   if (opts_.byzantine != ByzantineProfile::kHonest) {
@@ -54,7 +62,8 @@ Node::Node(std::unique_ptr<net::Transport> transport,
           threshold_coin->ingest_share(from, w, y);
         });
   }
-  rider_ = std::make_unique<core::DagRider>(*builder_, *coin_);
+  rider_ = core::make_ordering(opts_.ordering, *builder_, *coin_,
+                               opts_.bullshark);
   if (opts_.gc_depth_rounds > 0) rider_->enable_gc(opts_.gc_depth_rounds);
 
   rider_->set_deliver([this](const Bytes& block,
@@ -137,6 +146,7 @@ void Node::loop() {
     builder_->set_proposal_log(
         [this](Round r, BytesView payload) {
           store_->append_proposal(r, payload);
+          proposals_logged_.fetch_add(1, std::memory_order_relaxed);
         });
   }
   builder_->start();
@@ -184,6 +194,11 @@ void Node::recover_from_store() {
   Round floor = 0;
   if (rec.snapshot.has_value()) {
     const storage::Snapshot& snap = *rec.snapshot;
+    // Wave numbering and the commit rule differ between personalities; a
+    // log written under one must not seed the other (DESIGN.md §14).
+    DR_ASSERT_MSG(snap.ordering == static_cast<std::uint8_t>(opts_.ordering) &&
+                      snap.rounds_per_wave == opts_.builder.rounds_per_wave,
+                  "snapshot written under a different ordering personality");
     floor = snap.gc_floor;
     std::vector<dag::VertexId> delivered_ids;
     delivered_ids.reserve(snap.delivered.size());
@@ -203,6 +218,35 @@ void Node::recover_from_store() {
     rider_->restore(snap.decided_wave, snap.delivered.size(), delivered_ids);
   }
   if (!rec.snapshot.has_value() && rec.records.empty()) return;  // fresh
+
+  // At-least-once seam (ROADMAP item 1): a restored own proposal may carry
+  // client txs that were never a_delivered before the crash. Re-register
+  // them as in-flight BEFORE replay, so a client resubmitting after our
+  // restart dedups against the in-WAL copy instead of being re-accepted
+  // into a second block — the double-delivery race. Proposals the snapshot
+  // already recorded as delivered are skipped (their txs are committed);
+  // for the rest, replay's a_deliver path marks whatever does commit, and
+  // anything still undelivered stays deduped as in-flight.
+  {
+    std::unordered_set<Round> delivered_own;
+    if (rec.snapshot.has_value()) {
+      for (const core::DeliveredRecord& d : rec.snapshot->delivered) {
+        if (d.source == pid()) delivered_own.insert(d.round);
+      }
+    }
+    for (const storage::WalRecord& r : rec.records) {
+      if (r.type != storage::WalRecordType::kProposal) continue;
+      if (delivered_own.count(r.round) != 0) continue;
+      const auto vx = dag::Vertex::deserialize(BytesView(r.payload));
+      if (!vx.ok()) continue;
+      if (auto txs = txpool::decode_block(BytesView(vx.value().block))) {
+        for (const txpool::Transaction& tx : txs.value()) {
+          mempool_.restore_in_flight(tx);
+        }
+      }
+    }
+  }
+
   builder_->begin_restore(floor);
   for (storage::WalRecord& r : rec.records) {
     if (r.type == storage::WalRecordType::kVertex) {
@@ -226,6 +270,8 @@ void Node::maybe_compact() {
   snap.pid = pid();
   snap.gc_floor = floor;
   snap.decided_wave = rider_->decided_wave();
+  snap.ordering = static_cast<std::uint8_t>(opts_.ordering);
+  snap.rounds_per_wave = opts_.builder.rounds_per_wave;
   {
     std::lock_guard<std::mutex> lk(log_mu_);
     snap.delivered = delivered_;
@@ -333,6 +379,7 @@ metrics::Counters Node::counters() const {
   out.emplace_back("mempool.committed_with_origin", m.committed_with_origin);
   out.emplace_back("mempool.committed_foreign", m.committed_foreign);
   out.emplace_back("mempool.window_evictions", m.window_evictions);
+  out.emplace_back("mempool.restored_in_flight", m.restored_in_flight);
   out.emplace_back("mempool.pending", mempool_.pending());
   out.emplace_back("mempool.in_flight", mempool_.in_flight());
   if (ingress_) metrics::append_prefixed(out, "ingress", ingress_->counters());
@@ -344,6 +391,21 @@ metrics::Counters Node::counters() const {
   metrics::append_prefixed(out, "transport", transport_->counters());
   if (byz_ != nullptr) {
     out.emplace_back("byzantine.attacks", byz_->attacks());
+  }
+  out.emplace_back("ordering.kind",
+                   static_cast<std::uint64_t>(opts_.ordering));
+  out.emplace_back("ordering.decided_wave", rider_->decided_wave());
+  out.emplace_back("ordering.waves_evaluated", rider_->waves_evaluated());
+  out.emplace_back("ordering.waves_without_direct_commit",
+                   rider_->waves_without_direct_commit());
+  if (rider_->kind() == core::OrderingKind::kBullshark) {
+    const auto* bs = static_cast<const core::BullsharkRider*>(rider_.get());
+    out.emplace_back("ordering.steady_commits", bs->steady_commits());
+    out.emplace_back("ordering.fallback_commits", bs->fallback_commits());
+    out.emplace_back("ordering.fallback_entries", bs->fallback_entries());
+    out.emplace_back(
+        "ordering.fallback_mode",
+        bs->mode() == core::BullsharkRider::Mode::kFallback ? 1 : 0);
   }
   return out;
 }

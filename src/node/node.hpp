@@ -25,7 +25,7 @@
 #include "coin/dealer.hpp"
 #include "coin/threshold_coin.hpp"
 #include "common/assert.hpp"
-#include "core/dag_rider.hpp"
+#include "core/ordering.hpp"
 #include "core/records.hpp"
 #include "ingress/mempool.hpp"
 #include "ingress/server.hpp"
@@ -51,6 +51,10 @@ enum class CoinMode {
 struct NodeOptions {
   rbc::RbcKind rbc_kind = rbc::RbcKind::kBracha;
   CoinMode coin_mode = CoinMode::kPiggyback;
+  /// Which commit rule orders the DAG (DESIGN.md §14). kBullshark forces
+  /// builder.rounds_per_wave to 2 (its wave geometry).
+  core::OrderingKind ordering = core::OrderingKind::kDagRider;
+  core::BullsharkOptions bullshark{};
   /// auto_blocks keeps rounds advancing when the mempool runs dry (the
   /// paper's "infinitely many blocks" assumption); size 0 = empty filler.
   /// lag_skip_threshold lets a node that restarted far behind sprint to the
@@ -204,6 +208,12 @@ class Node {
   std::vector<core::DeliveredRecord> delivered_snapshot() const;
   std::vector<core::CommitRecord> commits_snapshot() const;
 
+  /// Own proposals persisted to the WAL so far (0 when durability is off).
+  /// Atomic: safe to poll while the node runs, unlike counters().
+  std::uint64_t proposals_logged() const {
+    return proposals_logged_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t inbox_overflows() const { return inbox_.overflows(); }
   std::uint64_t backpressure_overflows() const {
     return transport_->backpressure_overflows();
@@ -240,7 +250,7 @@ class Node {
   ByzantineRbc* byz_ = nullptr;  ///< rbc_ downview when opts_.byzantine is set
   std::unique_ptr<coin::Coin> coin_;
   std::unique_ptr<dag::DagBuilder> builder_;
-  std::unique_ptr<core::DagRider> rider_;
+  std::unique_ptr<core::OrderingRule> rider_;
   std::unique_ptr<storage::VertexStore> store_;
   std::unique_ptr<CatchupSync> catchup_;
   Round last_compact_floor_ = 0;
@@ -254,6 +264,7 @@ class Node {
   std::vector<core::DeliveredRecord> delivered_;
   std::vector<core::CommitRecord> commits_;
   std::atomic<std::uint64_t> delivered_count_{0};
+  std::atomic<std::uint64_t> proposals_logged_{0};
 
   AppDeliverFn app_deliver_;
   std::chrono::steady_clock::time_point epoch_;

@@ -22,6 +22,7 @@ constexpr std::uint64_t kSoakSeedTweak = 0x50A1C5EEDULL;
 
 std::string SoakResult::describe() const {
   std::string out = "chaos-soak seed=" + std::to_string(seed);
+  out += std::string(" ordering=") + core::to_string(ordering);
   out += " byz_pid=" + std::to_string(byzantine_pid);
   out += " churn_pid=" + std::to_string(churn_pid);
   out += " plan=" + plan;
@@ -38,6 +39,7 @@ SoakResult run_chaos_soak(const SoakOptions& opts) {
 
   SoakResult result;
   result.seed = opts.seed;
+  result.ordering = opts.ordering;
 
   // Everything adversarial derives from the one seed: the link-fault plan
   // from its own stream inside randomized(), the seat/timing choices below
@@ -68,6 +70,7 @@ SoakResult run_chaos_soak(const SoakOptions& opts) {
 
   NodeOptions nopts;
   nopts.seed = opts.seed;
+  nopts.ordering = opts.ordering;
   nopts.wal_dir = opts.wal_dir;
   nopts.ingress_enable = opts.with_ingress;
 

@@ -22,6 +22,8 @@ namespace dr::node {
 struct SoakOptions {
   std::uint64_t seed = 1;
   std::uint32_t n = 4;
+  /// Ordering personality the whole cluster runs under (DESIGN.md §14).
+  core::OrderingKind ordering = core::OrderingKind::kDagRider;
   /// Blocks every (audited) node must a_deliver for the run to count as
   /// having made progress.
   std::uint64_t target_delivered = 40;
@@ -55,6 +57,7 @@ struct SoakResult {
   bool progressed = false;  ///< every audited node hit target_delivered
   std::string violation;    ///< first auditor violation ("" when clean)
   std::uint64_t seed = 0;
+  core::OrderingKind ordering = core::OrderingKind::kDagRider;
   std::string plan;  ///< ChaosPlan::describe() of the schedule that ran
   /// pid of the seated adversary, or n (== "none") when all-honest.
   ProcessId byzantine_pid = 0;

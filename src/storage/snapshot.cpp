@@ -16,6 +16,8 @@ Bytes encode_snapshot(const Snapshot& snap) {
   w.u32(snap.pid);
   w.u64(snap.gc_floor);
   w.u64(snap.decided_wave);
+  w.u8(snap.ordering);
+  w.u64(snap.rounds_per_wave);
   w.u32(static_cast<std::uint32_t>(snap.delivered.size()));
   for (const core::DeliveredRecord& rec : snap.delivered) {
     w.raw(BytesView{rec.block_digest.data(), rec.block_digest.size()});
@@ -46,7 +48,8 @@ Expected<Snapshot> decode_snapshot(BytesView data) {
   ByteReader in(body);
   Snapshot snap;
   if (in.u32() != kSnapMagic) return Fail::failure("bad snapshot magic");
-  if (in.u16() != kSnapVersion) {
+  const std::uint16_t version = in.u16();
+  if (version < 1 || version > kSnapVersion) {
     return Fail::failure("unsupported snapshot version");
   }
   (void)in.u16();  // reserved
@@ -55,6 +58,10 @@ Expected<Snapshot> decode_snapshot(BytesView data) {
   snap.pid = in.u32();
   snap.gc_floor = in.u64();
   snap.decided_wave = in.u64();
+  if (version >= 2) {
+    snap.ordering = in.u8();
+    snap.rounds_per_wave = in.u64();
+  }
   const std::uint32_t n_delivered = in.u32();
   if (!in.ok() || n_delivered > kMaxSnapshotDelivered) {
     return Fail::failure("snapshot delivered count implausible");

@@ -19,7 +19,10 @@
 namespace dr::storage {
 
 inline constexpr std::uint32_t kSnapMagic = 0x504E5344;  // "DSNP" LE
-inline constexpr std::uint16_t kSnapVersion = 1;
+/// v2 adds the ordering-personality stamp (kind + rounds_per_wave), so
+/// recovery can refuse to replay a log written under a different commit
+/// rule. v1 snapshots still decode, defaulting to DagRider's shape.
+inline constexpr std::uint16_t kSnapVersion = 2;
 
 /// Defensive caps mirroring the WAL codec: a corrupt count field must not
 /// make recovery allocate gigabytes.
@@ -31,6 +34,11 @@ struct Snapshot {
   ProcessId pid = 0;
   Round gc_floor = 0;
   Wave decided_wave = 0;
+  /// core::OrderingKind of the writer, stored raw to keep this header free
+  /// of the ordering layer. Wave/commit state is only meaningful under the
+  /// personality (and wave geometry) that produced it.
+  std::uint8_t ordering = 0;
+  Round rounds_per_wave = kRoundsPerWave;
   std::vector<core::DeliveredRecord> delivered;
   std::vector<core::CommitRecord> commits;
 };

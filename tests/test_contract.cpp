@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/contract.hpp"
-#include "core/dag_rider.hpp"
+#include "core/ordering.hpp"
 #include "dag/dag.hpp"
 #include "dag/vertex.hpp"
 

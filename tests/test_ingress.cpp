@@ -523,6 +523,162 @@ TEST(IngressCluster, RestartedNodeDedupsCommittedAndServesFreshTxs) {
   std::filesystem::remove_all(wal);
 }
 
+// --- kill-restart: the at-least-once race on restored proposals ---
+
+// ROADMAP item 1 (closed by this test's fix): a client tx drained into a
+// proposal that was WAL'd but never disseminated — staged here with a mute
+// proposer, whose persist-before-send logging runs but whose broadcasts are
+// swallowed — is invisible to the cluster, so the client resubmits after
+// the node restarts. Before the fix the restarted node's empty mempool
+// re-accepted the resubmission into a second block while WAL replay
+// re-broadcast the original proposal: the same logical tx a_delivered
+// twice. Recovery now seeds the mempool's in-flight set from restored
+// undelivered proposals, so the resubmission dedups against the in-WAL
+// copy and the commit tally stays exactly-once.
+TEST(IngressCluster, ResubmitAfterRestartOfMuteProposerDeliversExactlyOnce) {
+  const std::string wal = fresh_dir("ingress-restart-race");
+  node::NodeOptions opts;
+  opts.seed = 13;
+  opts.ingress_enable = true;
+  opts.wal_dir = wal;
+  node::ClusterTweaks tweaks;
+  tweaks.profiles.assign(4, node::ByzantineProfile::kHonest);
+  tweaks.profiles[1] = node::ByzantineProfile::kMute;
+  node::Cluster cluster(Committee::for_n(4), opts, tweaks);
+
+  // Exactly-once tally at honest node 0, keyed by logical tx id.
+  std::mutex tally_mu;
+  std::unordered_map<std::uint64_t, std::uint64_t> tally;
+  cluster.node(0).set_app_deliver(
+      [&](const Bytes& block, Round, ProcessId, std::uint64_t) {
+        if (auto txs = txpool::decode_block(BytesView(block))) {
+          std::lock_guard<std::mutex> lk(tally_mu);
+          for (const auto& tx : txs.value()) ++tally[tx.id];
+        }
+      });
+  cluster.start();
+
+  const std::uint16_t port = cluster.ingress_port(1);
+  ASSERT_NE(port, 0);
+  constexpr std::uint64_t kProbe = 10;
+
+  {  // Submit probes through the mute node: accepted, drained into a WAL'd
+     // proposal, never disseminated.
+    Client client(Client::Options{"127.0.0.1", port, 256});
+    ASSERT_TRUE(client.connect(2'000));
+    std::uint64_t accepted = 0;
+    client.on_reply = [&](std::uint64_t, std::uint64_t,
+                          SubmitStatus status) {
+      if (status == SubmitStatus::kAccepted) ++accepted;
+    };
+    for (std::uint64_t i = 0; i < kProbe; ++i) {
+      ASSERT_TRUE(client.submit(21, i, BytesView(loadgen_payload(21, i, 32))));
+    }
+    pump_until(client, [&] { return accepted == kProbe; },
+               std::chrono::minutes(1));
+    // Drained (in-flight), then proposed (persist-before-send ran): the
+    // race precondition — on disk, in no one's DAG. The drained block sits
+    // at most max_blocks_pending (2) deep in the proposal queue, so two
+    // more logged proposals guarantee it reached the WAL.
+    pump_until(client,
+               [&] { return cluster.node(1).mempool().in_flight() >= kProbe; },
+               std::chrono::minutes(1));
+    const std::uint64_t proposals_at_drain =
+        cluster.node(1).proposals_logged();
+    pump_until(client,
+               [&] {
+                 return cluster.node(1).proposals_logged() >=
+                        proposals_at_drain + 2;
+               },
+               std::chrono::minutes(1));
+    client.close();
+  }
+  // None of the probe txs may be delivered anywhere while the proposer is
+  // mute (its broadcasts are swallowed).
+  {
+    std::lock_guard<std::mutex> lk(tally_mu);
+    for (std::uint64_t i = 0; i < kProbe; ++i) {
+      ASSERT_EQ(tally.count(compose_tx_id(21, i)), 0u);
+    }
+  }
+
+  cluster.stop_node(1);
+  cluster.set_profile(1, node::ByzantineProfile::kHonest);
+  cluster.restart_node(1);
+  ASSERT_EQ(cluster.ingress_port(1), port);
+  // The fix's mechanism: recovery (on the node thread) re-registers the
+  // WAL'd-but-undelivered probe txs as in-flight before the builder goes
+  // live. Poll: restart_node returns as soon as the thread is spawned.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::minutes(1);
+    while (cluster.node(1).mempool().stats().restored_in_flight < kProbe) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "recovery did not seed the mempool's in-flight set";
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  {  // Reconnect and resubmit every probe: must dedup, never re-enter.
+    Client client(Client::Options{"127.0.0.1", port, 256});
+    ASSERT_TRUE(client.connect(5'000));
+    std::uint64_t replies = 0, reaccepted = 0, acked = 0;
+    client.on_reply = [&](std::uint64_t, std::uint64_t,
+                          SubmitStatus status) {
+      ++replies;
+      if (status == SubmitStatus::kAccepted) ++reaccepted;
+    };
+    client.on_ack = [&](std::uint64_t, std::uint64_t, std::uint64_t) {
+      ++acked;
+    };
+    for (std::uint64_t i = 0; i < kProbe; ++i) {
+      ASSERT_TRUE(client.submit(21, i, BytesView(loadgen_payload(21, i, 32))));
+    }
+    pump_until(client, [&] { return replies == kProbe; },
+               std::chrono::minutes(1));
+    EXPECT_EQ(reaccepted, 0u)
+        << "resubmission re-accepted while the restored proposal still "
+           "holds the tx (double-delivery race)";
+
+    // The now-honest node re-broadcasts the restored proposal; every probe
+    // commits (exactly once, checked below) without any re-admission.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::minutes(1);
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(tally_mu);
+        std::uint64_t seen = 0;
+        for (std::uint64_t i = 0; i < kProbe; ++i) {
+          seen += tally.count(compose_tx_id(21, i));
+        }
+        if (seen == kProbe) break;
+      }
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "restored proposal never delivered after restart";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // Fresh traffic through the recovered node stays live end to end.
+    for (std::uint64_t i = 0; i < kProbe; ++i) {
+      ASSERT_TRUE(client.submit(22, i, BytesView(loadgen_payload(22, i, 32))));
+    }
+    pump_until(client, [&] { return acked >= kProbe; },
+               std::chrono::minutes(1));
+    client.close();
+  }
+
+  cluster.stop();
+  EXPECT_FALSE(core::audit_logs(cluster.delivered_logs(),
+                                cluster.commit_logs())
+                   .has_value());
+  std::lock_guard<std::mutex> lk(tally_mu);
+  for (const auto& [id, count] : tally) {
+    EXPECT_EQ(count, 1u) << "tx " << id << " committed " << count
+                         << " times";
+  }
+  std::filesystem::remove_all(wal);
+}
+
 // --- seeded soak + loadgen smoke ---
 
 TEST(IngressSoak, SeededChaosSweepWithClientChurnStaysClean) {
